@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the hot structures of the simulator:
+//! the cache tag store, the prefetchers, the functional interpreter and
+//! a short end-to-end machine run. These guard the simulator's own
+//! performance (a full figure regeneration runs hundreds of simulations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehs_energy::PowerTrace;
+use ehs_isa::Interpreter;
+use ehs_mem::{Cache, CacheConfig, PrefetchBuffer};
+use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher, SequentialPrefetcher, StridePrefetcher};
+use ehs_sim::{Machine, SimConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        cache.fill(0x1000, false);
+        b.iter(|| black_box(cache.access(black_box(0x1004), false)));
+    });
+    c.bench_function("cache/fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(16);
+            black_box(cache.fill(black_box(addr), true))
+        });
+    });
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    c.bench_function("prefetch/sequential_observe", |b| {
+        let mut p = SequentialPrefetcher::new(2);
+        let mut out = Vec::with_capacity(8);
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            out.clear();
+            p.observe(&AccessEvent::fetch(pc, AccessOutcome::Miss), &mut out);
+            black_box(out.len())
+        });
+    });
+    c.bench_function("prefetch/stride_observe", |b| {
+        let mut p = StridePrefetcher::new(2);
+        let mut out = Vec::with_capacity(8);
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            out.clear();
+            p.observe(&AccessEvent::data(0x40, addr, AccessOutcome::Miss, false), &mut out);
+            black_box(out.len())
+        });
+    });
+    c.bench_function("prefetch/buffer_insert_lookup", |b| {
+        let mut buf = PrefetchBuffer::new(4);
+        let mut blk = 0u32;
+        b.iter(|| {
+            blk = blk.wrapping_add(16);
+            buf.insert(blk, 10);
+            black_box(buf.lookup(blk, 20))
+        });
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let program = ehs_workloads::by_name("basicm").unwrap().program();
+    c.bench_function("isa/interpreter_1k_steps", |b| {
+        b.iter(|| {
+            let mut vm = Interpreter::new(&program);
+            for _ in 0..1000 {
+                vm.step().unwrap();
+            }
+            black_box(vm.pc())
+        });
+    });
+    c.bench_function("isa/assemble_workload", |b| {
+        let src = ehs_workloads::by_name("gsmd").unwrap().source();
+        b.iter(|| black_box(ehs_isa::asm::assemble(black_box(&src)).unwrap().len()));
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let program = ehs_workloads::by_name("gsmd").unwrap().program();
+    let trace = PowerTrace::constant_mw(50.0, 16);
+    c.bench_function("sim/machine_60k_cycles", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::ipex_both();
+            cfg.max_cycles = 60_000;
+            let mut m = Machine::with_trace(cfg, &program, trace.clone());
+            let _ = m.run(); // hits the cycle budget; that is the point
+            black_box(m.result().stats.instructions)
+        });
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_prefetchers, bench_interpreter, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Calibration sweep: prints the headline metrics for the four standard
+//! configurations over the full suite so the simulator's shape can be
+//! compared with the paper at a glance. Not one of the paper's figures;
+//! a development aid.
+
+use ehs_bench::{banner, gmean, pct, run_suite, speedups};
+use ehs_sim::SimConfig;
+
+fn main() {
+    banner("calibrate", "headline metrics, RFHome trace");
+    let trace = SimConfig::default_trace();
+
+    let t0 = std::time::Instant::now();
+    let no_pf = run_suite(&SimConfig::no_prefetch(), &trace);
+    let base = run_suite(&SimConfig::baseline(), &trace);
+    let ipex_d = run_suite(&SimConfig::ipex_data_only(), &trace);
+    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
+    println!("(simulated 80 runs in {:.1?})\n", t0.elapsed());
+
+    println!(
+        "{:10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "base_cyc", "pcycles", "stall_i", "stall_d", "nopf", "ipexD", "ipexID", "accI", "accD"
+    );
+    for w in &ehs_workloads::SUITE {
+        let n = w.name();
+        let b = &base[n];
+        println!(
+            "{:10} {:>9} {:>7} {:>7} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7} {:>7}",
+            n,
+            b.stats.total_cycles,
+            b.stats.power_cycles,
+            pct(b.stats.istall_fraction()),
+            pct(b.stats.dstall_fraction()),
+            no_pf[n].stats.total_cycles as f64 / b.stats.total_cycles as f64,
+            b.stats.total_cycles as f64 / ipex_d[n].stats.total_cycles as f64,
+            b.stats.total_cycles as f64 / ipex[n].stats.total_cycles as f64,
+            pct(b.inst_prefetch_accuracy()),
+            pct(b.data_prefetch_accuracy()),
+        );
+    }
+
+    let (_, g_nopf) = speedups(&no_pf, &base);
+    let (_, g_d) = speedups(&base, &ipex_d);
+    let (_, g_id) = speedups(&base, &ipex);
+    println!("\nbaseline vs no-prefetch gmean speedup: {:.4} (paper: 1.0496)", g_nopf);
+    println!("IPEX(data) vs baseline gmean speedup:  {:.4} (paper: 1.0373)", g_d);
+    println!("IPEX(both) vs baseline gmean speedup:  {:.4} (paper: 1.0896)", g_id);
+
+    let e_ratio: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| ipex[w.name()].total_energy_nj() / base[w.name()].total_energy_nj())
+        .collect();
+    println!("IPEX(both) energy vs baseline gmean:   {:.4} (paper: 0.9214)", gmean(&e_ratio));
+
+    let acc_i: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| base[w.name()].inst_prefetch_accuracy()).collect();
+    let acc_d: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| base[w.name()].data_prefetch_accuracy()).collect();
+    let acc_i2: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| ipex[w.name()].inst_prefetch_accuracy()).collect();
+    let acc_d2: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| ipex[w.name()].data_prefetch_accuracy()).collect();
+    println!(
+        "accuracy I/D baseline: {}/{}   IPEX: {}/{}  (paper: 54/53 -> 73/65)",
+        pct(gmean(&acc_i)),
+        pct(gmean(&acc_d)),
+        pct(gmean(&acc_i2)),
+        pct(gmean(&acc_d2)),
+    );
+    let pfred: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| 1.0 - ipex[w.name()].prefetch_operations() as f64 / base[w.name()].prefetch_operations().max(1) as f64)
+        .collect();
+    println!("prefetch-op reduction mean: {} (paper: 7.11%)", pct(pfred.iter().sum::<f64>() / pfred.len() as f64));
+}

@@ -1,0 +1,74 @@
+//! Deep-dive diagnostics for one workload (development aid, not a paper
+//! figure). Usage: `diag [workload]` (default `g721e`).
+
+use ehs_bench::{pct, run_one};
+use ehs_sim::SimConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "g721e".into());
+    let w = ehs_workloads::by_name(&name).expect("workload name");
+    let trace = SimConfig::default_trace();
+
+    for (label, cfg) in [
+        ("no-prefetch", SimConfig::no_prefetch()),
+        ("baseline", SimConfig::baseline()),
+        ("ipex-both", SimConfig::ipex_both()),
+    ] {
+        let r = run_one(w, &cfg, &trace);
+        println!("=== {name} / {label} ===");
+        println!(
+            "cycles total {} on {} off {}  pcycles {}  instr {}",
+            r.stats.total_cycles, r.stats.on_cycles, r.stats.off_cycles, r.stats.power_cycles, r.stats.instructions
+        );
+        println!(
+            "stall I {} D {}   demand reads I {} D {}",
+            pct(r.stats.istall_fraction()),
+            pct(r.stats.dstall_fraction()),
+            r.stats.i_demand_reads,
+            r.stats.d_demand_reads
+        );
+        println!(
+            "NVM: demand {} prefetch {} writes {}  (traffic {})",
+            r.nvm.demand_reads,
+            r.nvm.prefetch_reads,
+            r.nvm.writes,
+            r.nvm.total_traffic()
+        );
+        for (side, b) in [("I", r.ibuf), ("D", r.dbuf)] {
+            println!(
+                "{side}buf: inserted {} useful {} evicted_unused {} lost_unused {} dupSupp {} redundant {} acc {}",
+                b.inserted,
+                b.useful,
+                b.evicted_unused,
+                b.lost_unused,
+                b.duplicate_suppressed,
+                b.redundant_skipped,
+                pct(b.accuracy())
+            );
+        }
+        println!("redundant cache skips {}", r.stats.redundant_cache_skips);
+        println!(
+            "energy nJ: cache {:.0} mem {:.0} compute {:.0} bkrst {:.0} total {:.0}",
+            r.energy.cache_nj,
+            r.energy.memory_nj,
+            r.energy.compute_nj,
+            r.energy.backup_restore_nj,
+            r.energy.total_nj()
+        );
+        for (side, s) in [("I", r.ipex_i), ("D", r.ipex_d)] {
+            if let Some(s) = s {
+                println!(
+                    "IPEX {side}: issued {} throttled {} ({}) reissued {} savingEntries {} thrLow {} thrRaise {}",
+                    s.issued,
+                    s.throttled,
+                    pct(s.overall_throttle_rate()),
+                    s.reissued,
+                    s.saving_mode_entries,
+                    s.threshold_lowers,
+                    s.threshold_raises
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,187 @@
+//! # ehs-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! full index); this library holds the shared machinery: running a
+//! workload under a configuration, running the whole 20-app suite in
+//! parallel, geometric means, and JSON result emission.
+//!
+//! Run any experiment with
+//! `cargo run --release -p ehs-bench --bin <figure>`; each prints the
+//! paper's rows/series and writes `results/<id>.json`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ehs_energy::PowerTrace;
+use ehs_sim::{Machine, SimConfig, SimResult};
+use ehs_workloads::Workload;
+use serde::Serialize;
+
+/// Runs one workload under `cfg` with the given trace.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (cycle limit or program fault) — an
+/// experiment configuration that cannot finish is a harness bug.
+pub fn run_one(workload: &Workload, cfg: &SimConfig, trace: &PowerTrace) -> SimResult {
+    let program = workload.program();
+    let mut machine = Machine::with_trace(cfg.clone(), &program, trace.clone());
+    machine
+        .run()
+        .unwrap_or_else(|e| panic!("workload `{}` failed under {:?}: {e}", workload.name(), cfg.inst_mode))
+}
+
+/// Runs the full 20-workload suite under `cfg`, in parallel, returning
+/// results keyed by workload name (in suite order).
+pub fn run_suite(cfg: &SimConfig, trace: &PowerTrace) -> BTreeMap<&'static str, SimResult> {
+    run_suite_filtered(cfg, trace, |_| true)
+}
+
+/// Runs the workloads accepted by `filter` under `cfg`, in parallel.
+pub fn run_suite_filtered(
+    cfg: &SimConfig,
+    trace: &PowerTrace,
+    filter: impl Fn(&Workload) -> bool,
+) -> BTreeMap<&'static str, SimResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ehs_workloads::SUITE
+            .iter()
+            .filter(|w| filter(w))
+            .map(|w| {
+                let cfg = cfg.clone();
+                let trace = trace.clone();
+                (w.name(), scope.spawn(move || run_one(w, &cfg, &trace)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("worker panicked")))
+            .collect()
+    })
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of an empty set");
+    assert!(values.iter().all(|v| *v > 0.0), "gmean requires positive values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Per-workload speedups of `test` over `base` plus the gmean, computed
+/// from total execution cycles.
+pub fn speedups(
+    base: &BTreeMap<&'static str, SimResult>,
+    test: &BTreeMap<&'static str, SimResult>,
+) -> (Vec<(&'static str, f64)>, f64) {
+    let mut rows = Vec::new();
+    for w in &ehs_workloads::SUITE {
+        let name = w.name();
+        if let (Some(b), Some(t)) = (base.get(name), test.get(name)) {
+            rows.push((name, t.speedup_over(b)));
+        }
+    }
+    let g = gmean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    (rows, g)
+}
+
+/// Writes an experiment's rows as pretty JSON to `results/<id>.json`
+/// (the `results` directory is created if needed) and reports the path.
+pub fn write_results<T: Serialize>(id: &str, rows: &T) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialise results");
+    std::fs::write(&path, json).expect("write results file");
+    println!("[results written to {}]", path.display());
+}
+
+/// Runs the suite under a baseline and an IPEX(both) configuration, both
+/// transformed by `mutate`, and returns the gmean speedup of IPEX over
+/// the baseline — the y-axis of every §6.7 sensitivity figure.
+pub fn ipex_gmean_speedup(trace: &PowerTrace, mutate: impl Fn(&mut SimConfig)) -> f64 {
+    let mut base = SimConfig::baseline();
+    mutate(&mut base);
+    let mut ipex = SimConfig::ipex_both();
+    mutate(&mut ipex);
+    let b = run_suite(&base, trace);
+    let i = run_suite(&ipex, trace);
+    speedups(&b, &i).1
+}
+
+/// A generic labelled row for sweep experiments, serialised to the
+/// results JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Sweep point label (e.g. `"2kB"`, `"PCM"`, `"0.47"`).
+    pub label: String,
+    /// IPEX-over-baseline gmean speedup at this point.
+    pub ipex_speedup: f64,
+}
+
+/// A labelled configuration mutator — one point of a sensitivity sweep.
+pub type SweepPoint = (String, Box<dyn Fn(&mut SimConfig)>);
+
+/// Runs a whole sensitivity sweep: for each `(label, mutator)` point,
+/// computes the IPEX gmean speedup, prints the row, writes
+/// `results/<id>.json`, and returns the rows.
+pub fn run_sweep(id: &str, what: &str, trace: &PowerTrace, points: Vec<SweepPoint>) -> Vec<SweepRow> {
+    banner(id, what);
+    let mut rows = Vec::new();
+    for (label, m) in points {
+        let s = ipex_gmean_speedup(trace, |c| m(c));
+        println!("{label:>12}  IPEX speedup over baseline: {s:.4}");
+        rows.push(SweepRow {
+            label,
+            ipex_speedup: s,
+        });
+    }
+    write_results(id, &rows);
+    rows
+}
+
+/// Formats a ratio as a percentage string with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints a standard experiment header.
+pub fn banner(id: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn gmean_empty_panics() {
+        gmean(&[]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.0896), "8.96%");
+    }
+
+    #[test]
+    fn run_one_completes_for_a_small_workload() {
+        let w = ehs_workloads::by_name("gsmd").unwrap();
+        let trace = PowerTrace::constant_mw(50.0, 8);
+        let r = run_one(w, &SimConfig::baseline(), &trace);
+        assert!(r.stats.instructions > 10_000);
+    }
+}

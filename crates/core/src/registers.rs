@@ -1,0 +1,83 @@
+//! The four per-cache IPEX registers (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The register file IPEX adds to each cache's prefetcher: `Rthrottled`,
+/// `Rtotal`, `Rtr` (32 bits each) and the 3-bit `Ripd`.
+///
+/// `Rthrottled`/`Rtotal` are JIT-checkpointed across outages (the
+/// simulator charges their bits to the backup cost); `Rtr` is recomputed
+/// at reboot; `Ripd` holds the initial prefetch degree consulted when the
+/// prefetcher resets `Rcpd` after a power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpexRegisters {
+    /// Prefetch candidates suppressed by throttling this power cycle.
+    pub r_throttled: u32,
+    /// Total candidates (issued + throttled) this power cycle.
+    pub r_total: u32,
+    /// Throttling rate computed at the last reboot (`Rthrottled/Rtotal`).
+    pub r_tr: f32,
+    /// Initial prefetch degree (3-bit).
+    pub r_ipd: u8,
+}
+
+/// Bit width of the register file, per cache (§6.1: 32 + 32 + 32 + 3).
+pub const BITS_PER_CACHE: u32 = 32 + 32 + 32 + 3;
+
+impl IpexRegisters {
+    /// Fresh registers with the given initial degree.
+    pub fn new(initial_degree: u32) -> IpexRegisters {
+        IpexRegisters {
+            r_throttled: 0,
+            r_total: 0,
+            r_tr: 0.0,
+            r_ipd: initial_degree as u8,
+        }
+    }
+
+    /// The throttling rate implied by the current counters, in `[0, 1]`
+    /// (zero when no candidates were seen).
+    pub fn throttling_rate(&self) -> f64 {
+        if self.r_total == 0 {
+            0.0
+        } else {
+            self.r_throttled as f64 / self.r_total as f64
+        }
+    }
+
+    /// Reboot bookkeeping: latches `Rtr` from the checkpointed counters
+    /// and clears them for the new power cycle.
+    pub fn on_reboot(&mut self) {
+        self.r_tr = self.throttling_rate() as f32;
+        self.r_throttled = 0;
+        self.r_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_count_matches_paper() {
+        assert_eq!(BITS_PER_CACHE, 99);
+    }
+
+    #[test]
+    fn throttling_rate_zero_when_idle() {
+        let r = IpexRegisters::new(2);
+        assert_eq!(r.throttling_rate(), 0.0);
+    }
+
+    #[test]
+    fn reboot_latches_and_clears() {
+        let mut r = IpexRegisters::new(2);
+        r.r_throttled = 1;
+        r.r_total = 2;
+        r.on_reboot();
+        assert!((r.r_tr - 0.5).abs() < 1e-6);
+        assert_eq!(r.r_throttled, 0);
+        assert_eq!(r.r_total, 0);
+        assert_eq!(r.r_ipd, 2);
+    }
+}

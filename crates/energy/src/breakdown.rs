@@ -1,0 +1,131 @@
+//! Four-bucket energy accounting (Fig. 14).
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by each subsystem, in nanojoules, matching the four
+/// bars of the paper's Figure 14: cache, (main) memory, compute, and
+/// backup + restoration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// ICache/DCache dynamic access energy plus cache leakage.
+    pub cache_nj: f64,
+    /// NVM dynamic access energy plus NVM leakage.
+    pub memory_nj: f64,
+    /// Core pipeline dynamic energy plus core leakage.
+    pub compute_nj: f64,
+    /// JIT checkpoint (backup) and restoration energy.
+    pub backup_restore_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> EnergyBreakdown {
+        EnergyBreakdown::default()
+    }
+
+    /// Total energy across all buckets, in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.cache_nj + self.memory_nj + self.compute_nj + self.backup_restore_nj
+    }
+
+    /// This breakdown normalised so the *other* breakdown's total is 1.0
+    /// (used for "normalised to baseline" figures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` has zero total energy.
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> EnergyBreakdown {
+        let t = baseline.total_nj();
+        assert!(t > 0.0, "cannot normalise to a zero-energy baseline");
+        EnergyBreakdown {
+            cache_nj: self.cache_nj / t,
+            memory_nj: self.memory_nj / t,
+            compute_nj: self.compute_nj / t,
+            backup_restore_nj: self.backup_restore_nj / t,
+        }
+    }
+
+    /// Fraction of the total spent in the cache bucket (Fig. 1's leakage
+    /// share uses this with leakage-only accounting).
+    pub fn cache_share(&self) -> f64 {
+        let t = self.total_nj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.cache_nj / t
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            cache_nj: self.cache_nj + rhs.cache_nj,
+            memory_nj: self.memory_nj + rhs.memory_nj,
+            compute_nj: self.compute_nj + rhs.compute_nj,
+            backup_restore_nj: self.backup_restore_nj + rhs.backup_restore_nj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            cache_nj: 10.0,
+            memory_nj: 60.0,
+            compute_nj: 25.0,
+            backup_restore_nj: 5.0,
+        }
+    }
+
+    #[test]
+    fn total_sums_buckets() {
+        assert_eq!(sample().total_nj(), 100.0);
+    }
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let half = EnergyBreakdown {
+            cache_nj: 5.0,
+            memory_nj: 30.0,
+            compute_nj: 12.5,
+            backup_restore_nj: 2.5,
+        };
+        let n = half.normalized_to(&sample());
+        assert!((n.total_nj() - 0.5).abs() < 1e-12);
+        assert!((n.memory_nj - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let mut acc = EnergyBreakdown::new();
+        acc += sample();
+        acc += sample();
+        assert_eq!(acc.total_nj(), 200.0);
+    }
+
+    #[test]
+    fn cache_share() {
+        assert!((sample().cache_share() - 0.1).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::new().cache_share(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-energy baseline")]
+    fn zero_baseline_panics() {
+        sample().normalized_to(&EnergyBreakdown::new());
+    }
+}

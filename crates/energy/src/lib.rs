@@ -1,0 +1,55 @@
+//! # ehs-energy — harvested-energy models for the EHS simulator
+//!
+//! Everything about energy in the reproduced system lives here:
+//!
+//! * [`Capacitor`] — the tiny storage capacitor (0.47 µF by default) whose
+//!   voltage IPEX monitors. Energy is `½·C·V²`; the simulator harvests
+//!   into it and drains it with every modelled event.
+//! * [`PowerTrace`] / [`TraceKind`] — harvested input power over time in
+//!   the paper's digitised format (one average-power sample per 10 µs).
+//!   The measured RFHome/RFOffice/solar/thermal traces are proprietary, so
+//!   seeded synthetic generators with the same qualitative structure are
+//!   provided (see `DESIGN.md` for the substitution argument); recorded
+//!   traces in the text format can be loaded as well.
+//! * [`EnergyModel`] — per-event energies (Table 1 constants) and leakage
+//!   powers, plus the analytic minimum-useful-prefetch-probability bound
+//!   of §2.2 (Equations 1–4, Figure 4).
+//! * [`EnergyBreakdown`] — the four-bucket accounting
+//!   (cache / memory / compute / backup+restore) reported in Figure 14.
+//!
+//! ```
+//! use ehs_energy::{Capacitor, CapacitorConfig};
+//!
+//! let mut cap = Capacitor::full(CapacitorConfig::paper_default());
+//! assert!((cap.voltage() - 3.4).abs() < 1e-9);
+//! cap.consume_nj(100.0);
+//! assert!(cap.voltage() < 3.4);
+//! ```
+
+mod breakdown;
+mod capacitor;
+mod model;
+mod trace;
+
+pub use breakdown::EnergyBreakdown;
+pub use capacitor::{Capacitor, CapacitorConfig};
+pub use model::{min_useful_probability, ComputeEnergy, EnergyModel};
+pub use trace::{PowerTrace, TraceKind, TRACE_SAMPLE_US};
+
+/// Core clock frequency modelled throughout the workspace (200 MHz).
+pub const CLOCK_HZ: f64 = 200.0e6;
+
+/// Duration of one core cycle in seconds (5 ns at 200 MHz).
+pub const CYCLE_SECONDS: f64 = 1.0 / CLOCK_HZ;
+
+/// Converts a power in milliwatts to energy in nanojoules per core cycle.
+///
+/// ```
+/// // 12.133 mW of NVM leakage costs ~0.0607 nJ every 5 ns cycle.
+/// let nj = ehs_energy::mw_to_nj_per_cycle(12.133);
+/// assert!((nj - 0.060665).abs() < 1e-6);
+/// ```
+pub fn mw_to_nj_per_cycle(mw: f64) -> f64 {
+    // mW = 1e-3 J/s; per cycle: * CYCLE_SECONDS; to nJ: * 1e9.
+    mw * 1.0e-3 * CYCLE_SECONDS * 1.0e9
+}

@@ -1,0 +1,1007 @@
+//! A small two-pass assembler for EHS-RV.
+//!
+//! The workloads in [`ehs-workloads`](https://docs.rs/ehs-workloads) are
+//! written in this textual form. The syntax is deliberately close to
+//! RISC-V assembly:
+//!
+//! ```text
+//! ; comments start with `;` or `#`
+//! .text
+//! main:
+//!     la   a1, table        ; pseudo: lui+ori
+//!     li   t0, 0
+//!     li   t1, 4
+//! loop:
+//!     slli t2, t0, 2
+//!     add  t2, a1, t2
+//!     lw   t3, 0(t2)
+//!     add  a0, a0, t3
+//!     addi t0, t0, 1
+//!     blt  t0, t1, loop
+//!     halt
+//!
+//! .data
+//! table: .word 1, 2, 3, 4
+//! buf:   .space 64
+//! msg:   .asciz "hello"
+//! ```
+//!
+//! Supported directives: `.text`, `.data`, `.org <addr>`, `.word`,
+//! `.half`, `.byte`, `.space <n> [fill]`, `.align <n>`, `.ascii`,
+//! `.asciz`. Labels may be used with a constant offset (`table+8`) in
+//! `la`, `.word` and memory operands.
+//!
+//! Pseudo-instructions: `nop`, `mv`, `li`, `la`, `j`, `jr`, `ret`,
+//! `call`, `beqz`, `bnez`, `ble`, `bgt`, `bleu`, `bgtu`, `neg`, `not`,
+//! `snez`, `halt` (real instruction), `subi`.
+
+use std::collections::BTreeMap;
+
+use crate::instr::{imm18_range, imm22_range};
+use crate::{AsmError, Instr, MemWidth, Program, Reg, Segment, DATA_BASE, TEXT_BASE};
+
+/// Assembles EHS-RV source text into a linked [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonics or
+/// registers, malformed operands, duplicate or undefined labels,
+/// immediates that do not fit their encoding field, and overlapping data
+/// segments all fail with the offending line number.
+///
+/// ```
+/// # fn main() -> Result<(), ehs_isa::AsmError> {
+/// let p = ehs_isa::asm::assemble(".text\n li a0, 1\n halt\n")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let lines = parse_lines(source)?;
+    let symbols = layout(&lines)?;
+    emit(&lines, symbols)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// One meaningful source line after lexing.
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    labels: Vec<String>,
+    stmt: Option<Stmt>,
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Section(Section),
+    Org(u32),
+    Word(Vec<Value>),
+    Half(Vec<i64>),
+    Byte(Vec<i64>),
+    Space { size: u32, fill: u8 },
+    Align(u32),
+    Ascii { bytes: Vec<u8> },
+    Instr { mnemonic: String, operands: Vec<String> },
+}
+
+/// A literal or `label±offset` reference resolved during emission.
+#[derive(Debug, Clone)]
+enum Value {
+    Literal(i64),
+    Symbol { name: String, offset: i64 },
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = raw;
+        // Strip comments, but not inside string literals.
+        let mut in_str = false;
+        let mut cut = text.len();
+        for (i, c) in text.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                ';' | '#' if !in_str => {
+                    cut = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        text = text[..cut].trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut labels = Vec::new();
+        // Leading `name:` labels (there may be several on one line).
+        while let Some(colon) = text.find(':') {
+            let candidate = text[..colon].trim();
+            if !is_ident(candidate) || text[..colon].contains('"') {
+                break;
+            }
+            labels.push(candidate.to_owned());
+            text = text[colon + 1..].trim();
+        }
+        let stmt = if text.is_empty() {
+            None
+        } else {
+            Some(parse_stmt(number, text)?)
+        };
+        out.push(Line { number, labels, stmt });
+    }
+    Ok(out)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_stmt(line: usize, text: &str) -> Result<Stmt, AsmError> {
+    let (head, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let head_lc = head.to_ascii_lowercase();
+    match head_lc.as_str() {
+        ".text" => Ok(Stmt::Section(Section::Text)),
+        ".data" => Ok(Stmt::Section(Section::Data)),
+        ".org" => {
+            let v = parse_int(line, rest)?;
+            Ok(Stmt::Org(v as u32))
+        }
+        ".word" => {
+            let vals = split_operands(rest)
+                .iter()
+                .map(|s| parse_value(line, s))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Stmt::Word(vals))
+        }
+        ".half" => Ok(Stmt::Half(parse_int_list(line, rest)?)),
+        ".byte" => Ok(Stmt::Byte(parse_int_list(line, rest)?)),
+        ".space" => {
+            let parts = split_operands(rest);
+            if parts.is_empty() || parts.len() > 2 {
+                return Err(AsmError::new(line, ".space takes 1 or 2 operands"));
+            }
+            let size = parse_int(line, &parts[0])? as u32;
+            let fill = if parts.len() == 2 { parse_int(line, &parts[1])? as u8 } else { 0 };
+            Ok(Stmt::Space { size, fill })
+        }
+        ".align" => {
+            let n = parse_int(line, rest)? as u32;
+            if !n.is_power_of_two() {
+                return Err(AsmError::new(line, ".align requires a power of two"));
+            }
+            Ok(Stmt::Align(n))
+        }
+        ".ascii" | ".asciz" => {
+            let s = rest.trim();
+            if !(s.starts_with('"') && s.ends_with('"') && s.len() >= 2) {
+                return Err(AsmError::new(line, "expected a quoted string"));
+            }
+            let mut bytes = unescape(line, &s[1..s.len() - 1])?;
+            if head_lc == ".asciz" {
+                bytes.push(0);
+            }
+            Ok(Stmt::Ascii { bytes })
+        }
+        _ if head_lc.starts_with('.') => Err(AsmError::new(line, format!("unknown directive `{head}`"))),
+        _ => Ok(Stmt::Instr {
+            mnemonic: head_lc,
+            operands: split_operands(rest),
+        }),
+    }
+}
+
+fn unescape(line: usize, s: &str) -> Result<Vec<u8>, AsmError> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => {
+                return Err(AsmError::new(line, format!("bad escape `\\{}`", other.unwrap_or(' '))));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(|s| s.trim().to_owned()).collect()
+}
+
+fn parse_int_list(line: usize, rest: &str) -> Result<Vec<i64>, AsmError> {
+    split_operands(rest).iter().map(|s| parse_int(line, s)).collect()
+}
+
+fn parse_int(line: usize, s: &str) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
+    } else if body.len() == 3 && body.starts_with('\'') && body.ends_with('\'') {
+        body.as_bytes()[1] as i64
+    } else {
+        body.parse().map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_value(line: usize, s: &str) -> Result<Value, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    let first = s.chars().next().expect("non-empty");
+    if first.is_ascii_digit() || first == '-' || first == '\'' {
+        return Ok(Value::Literal(parse_int(line, s)?));
+    }
+    // label, label+imm, label-imm
+    for (i, c) in s.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let name = s[..i].trim();
+            if !is_ident(name) {
+                return Err(AsmError::new(line, format!("bad symbol `{name}`")));
+            }
+            let off = parse_int(line, &s[i..].replace('+', ""))?;
+            let off = if c == '-' && off > 0 { -off } else { off };
+            return Ok(Value::Symbol { name: name.to_owned(), offset: off });
+        }
+    }
+    if !is_ident(s) {
+        return Err(AsmError::new(line, format!("bad operand `{s}`")));
+    }
+    Ok(Value::Symbol { name: s.to_owned(), offset: 0 })
+}
+
+/// Number of real instructions a mnemonic expands to (pass 1).
+fn instr_size(line: usize, mnemonic: &str, operands: &[String]) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "la" => 2,
+        "li" => {
+            let imm = match operands.get(1) {
+                Some(s) => parse_int(line, s)?,
+                None => return Err(AsmError::new(line, "li needs 2 operands")),
+            };
+            let (lo, hi) = imm18_range();
+            if imm >= lo as i64 && imm <= hi as i64 {
+                1
+            } else {
+                2
+            }
+        }
+        _ => 1,
+    })
+}
+
+fn layout(lines: &[Line]) -> Result<BTreeMap<String, u32>, AsmError> {
+    let mut symbols = BTreeMap::new();
+    let mut section = Section::Text;
+    let mut text_pc = TEXT_BASE;
+    let mut data_pc = DATA_BASE;
+    for line in lines {
+        let here = match section {
+            Section::Text => text_pc,
+            Section::Data => data_pc,
+        };
+        for label in &line.labels {
+            if symbols.insert(label.clone(), here).is_some() {
+                return Err(AsmError::new(line.number, format!("duplicate label `{label}`")));
+            }
+        }
+        let Some(stmt) = &line.stmt else { continue };
+        match stmt {
+            Stmt::Section(s) => section = *s,
+            Stmt::Org(addr) => {
+                if section == Section::Text {
+                    return Err(AsmError::new(line.number, ".org is only valid in .data"));
+                }
+                data_pc = *addr;
+                // Re-bind labels on this line to the new origin.
+                for label in &line.labels {
+                    symbols.insert(label.clone(), data_pc);
+                }
+            }
+            Stmt::Word(v) => advance_data(line, section, &mut data_pc, 4 * v.len() as u32, 4)?,
+            Stmt::Half(v) => advance_data(line, section, &mut data_pc, 2 * v.len() as u32, 2)?,
+            Stmt::Byte(v) => advance_data(line, section, &mut data_pc, v.len() as u32, 1)?,
+            Stmt::Space { size, .. } => advance_data(line, section, &mut data_pc, *size, 1)?,
+            Stmt::Ascii { bytes } => advance_data(line, section, &mut data_pc, bytes.len() as u32, 1)?,
+            Stmt::Align(n) => {
+                if section == Section::Text {
+                    return Err(AsmError::new(line.number, ".align is only valid in .data"));
+                }
+                let aligned = data_pc.next_multiple_of(*n);
+                data_pc = aligned;
+                for label in &line.labels {
+                    symbols.insert(label.clone(), data_pc);
+                }
+            }
+            Stmt::Instr { mnemonic, operands } => {
+                if section != Section::Text {
+                    return Err(AsmError::new(line.number, "instruction outside .text"));
+                }
+                text_pc += 4 * instr_size(line.number, mnemonic, operands)?;
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+fn advance_data(line: &Line, section: Section, data_pc: &mut u32, size: u32, align: u32) -> Result<(), AsmError> {
+    if section != Section::Data {
+        return Err(AsmError::new(line.number, "data directive outside .data"));
+    }
+    if !(*data_pc).is_multiple_of(align) {
+        return Err(AsmError::new(
+            line.number,
+            format!("data at {data_pc:#x} is not {align}-byte aligned (use .align)"),
+        ));
+    }
+    *data_pc += size;
+    Ok(())
+}
+
+struct Emitter {
+    symbols: BTreeMap<String, u32>,
+    text: Vec<u32>,
+    data: Vec<Segment>,
+    data_pc: u32,
+}
+
+impl Emitter {
+    fn text_pc(&self) -> u32 {
+        TEXT_BASE + 4 * self.text.len() as u32
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.text.push(i.encode());
+    }
+
+    fn data_bytes(&mut self, line: usize, bytes: &[u8]) -> Result<(), AsmError> {
+        // Extend the last segment if contiguous, otherwise open a new one.
+        match self.data.last_mut() {
+            Some(seg) if seg.end() == self.data_pc => seg.bytes.extend_from_slice(bytes),
+            _ => {
+                for seg in &self.data {
+                    let new_end = self.data_pc + bytes.len() as u32;
+                    if self.data_pc < seg.end() && seg.base < new_end {
+                        return Err(AsmError::new(line, format!("data at {:#x} overlaps earlier segment", self.data_pc)));
+                    }
+                }
+                self.data.push(Segment {
+                    base: self.data_pc,
+                    bytes: bytes.to_vec(),
+                });
+            }
+        }
+        self.data_pc += bytes.len() as u32;
+        Ok(())
+    }
+
+    fn resolve(&self, line: usize, v: &Value) -> Result<i64, AsmError> {
+        match v {
+            Value::Literal(x) => Ok(*x),
+            Value::Symbol { name, offset } => {
+                let base = self
+                    .symbols
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| AsmError::new(line, format!("undefined label `{name}`")))?;
+                Ok(base as i64 + offset)
+            }
+        }
+    }
+
+    fn reg(&self, line: usize, s: &str) -> Result<Reg, AsmError> {
+        s.parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
+    }
+
+    /// Parses `off(base)` or `(base)` or `label` / `label+off` memory operands.
+    fn mem_operand(&self, line: usize, s: &str) -> Result<(Reg, i32), AsmError> {
+        let s = s.trim();
+        if let Some(open) = s.find('(') {
+            let close = s.rfind(')').ok_or_else(|| AsmError::new(line, "missing `)`"))?;
+            let base = self.reg(line, s[open + 1..close].trim())?;
+            let off_str = s[..open].trim();
+            let off = if off_str.is_empty() {
+                0
+            } else {
+                self.resolve(line, &parse_value(line, off_str)?)?
+            };
+            let off = check_imm18(line, off)?;
+            Ok((base, off))
+        } else {
+            Err(AsmError::new(line, format!("expected `offset(base)` operand, got `{s}`")))
+        }
+    }
+
+    fn branch_target(&self, line: usize, s: &str) -> Result<i32, AsmError> {
+        let v = parse_value(line, s)?;
+        let target = self.resolve(line, &v)?;
+        let offset = match v {
+            Value::Literal(x) => x,
+            Value::Symbol { .. } => target - self.text_pc() as i64,
+        };
+        check_imm18(line, offset)
+    }
+
+    fn jump_target(&self, line: usize, s: &str) -> Result<i32, AsmError> {
+        let v = parse_value(line, s)?;
+        let target = self.resolve(line, &v)?;
+        let offset = match v {
+            Value::Literal(x) => x,
+            Value::Symbol { .. } => target - self.text_pc() as i64,
+        };
+        let (lo, hi) = imm22_range();
+        if offset < lo as i64 || offset > hi as i64 {
+            return Err(AsmError::new(line, format!("jump offset {offset} does not fit 22 bits")));
+        }
+        Ok(offset as i32)
+    }
+
+    /// Emits `li rd, value` as 1 or 2 instructions (size fixed by pass 1 rules).
+    fn emit_li(&mut self, rd: Reg, value: i64) {
+        let v = value as u32;
+        let (lo, hi) = imm18_range();
+        if value >= lo as i64 && value <= hi as i64 {
+            self.push(Instr::Addi { rd, rs1: Reg::Zero, imm: value as i32 });
+        } else {
+            self.emit_lui_ori(rd, v);
+        }
+    }
+
+    fn emit_lui_ori(&mut self, rd: Reg, v: u32) {
+        // lui loads bits [31:14]; ori fills bits [13:0].
+        let upper = (v >> 14) as i32; // 18 bits, fits the 22-bit field
+        let lower = (v & 0x3fff) as i32; // 14 bits, positive, fits imm18
+        self.push(Instr::Lui { rd, imm: upper });
+        self.push(Instr::Ori { rd, rs1: rd, imm: lower });
+    }
+}
+
+fn check_imm18(line: usize, v: i64) -> Result<i32, AsmError> {
+    let (lo, hi) = imm18_range();
+    if v < lo as i64 || v > hi as i64 {
+        return Err(AsmError::new(line, format!("immediate {v} does not fit 18 bits")));
+    }
+    Ok(v as i32)
+}
+
+fn emit(lines: &[Line], symbols: BTreeMap<String, u32>) -> Result<Program, AsmError> {
+    let mut e = Emitter {
+        symbols,
+        text: Vec::new(),
+        data: Vec::new(),
+        data_pc: DATA_BASE,
+    };
+    let mut section = Section::Text;
+    for line in lines {
+        let Some(stmt) = &line.stmt else { continue };
+        let n = line.number;
+        match stmt {
+            Stmt::Section(s) => section = *s,
+            Stmt::Org(addr) => e.data_pc = *addr,
+            Stmt::Align(a) => e.data_pc = e.data_pc.next_multiple_of(*a),
+            Stmt::Word(vals) => {
+                for v in vals {
+                    let x = e.resolve(n, v)? as u32;
+                    e.data_bytes(n, &x.to_le_bytes())?;
+                }
+            }
+            Stmt::Half(vals) => {
+                for v in vals {
+                    e.data_bytes(n, &(*v as u16).to_le_bytes())?;
+                }
+            }
+            Stmt::Byte(vals) => {
+                for v in vals {
+                    e.data_bytes(n, &[*v as u8])?;
+                }
+            }
+            Stmt::Space { size, fill } => {
+                let bytes = vec![*fill; *size as usize];
+                e.data_bytes(n, &bytes)?;
+            }
+            Stmt::Ascii { bytes } => e.data_bytes(n, bytes)?,
+            Stmt::Instr { mnemonic, operands } => {
+                if section != Section::Text {
+                    return Err(AsmError::new(n, "instruction outside .text"));
+                }
+                emit_instr(&mut e, n, mnemonic, operands)?;
+            }
+        }
+    }
+    e.data.sort_by_key(|s| s.base);
+    for pair in e.data.windows(2) {
+        if pair[0].end() > pair[1].base {
+            return Err(AsmError::new(0, format!("data segments overlap at {:#x}", pair[1].base)));
+        }
+    }
+    let entry = e.symbols.get("main").copied().unwrap_or(TEXT_BASE);
+    Ok(Program {
+        text: e.text,
+        data: e.data,
+        symbols: e.symbols,
+        entry,
+    })
+}
+
+fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Result<(), AsmError> {
+    let want = |count: usize| -> Result<(), AsmError> {
+        if ops.len() != count {
+            Err(AsmError::new(n, format!("`{mnemonic}` expects {count} operands, got {}", ops.len())))
+        } else {
+            Ok(())
+        }
+    };
+
+    macro_rules! r3 {
+        ($variant:ident) => {{
+            want(3)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs1 = e.reg(n, &ops[1])?;
+            let rs2 = e.reg(n, &ops[2])?;
+            e.push(Instr::$variant { rd, rs1, rs2 });
+        }};
+    }
+    macro_rules! i3 {
+        ($variant:ident) => {{
+            want(3)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs1 = e.reg(n, &ops[1])?;
+            let imm = check_imm18(n, e.resolve(n, &parse_value(n, &ops[2])?)?)?;
+            e.push(Instr::$variant { rd, rs1, imm });
+        }};
+    }
+    macro_rules! branch {
+        ($variant:ident, $a:expr, $b:expr, $target:expr) => {{
+            let rs1 = e.reg(n, $a)?;
+            let rs2 = e.reg(n, $b)?;
+            let offset = e.branch_target(n, $target)?;
+            e.push(Instr::$variant { rs1, rs2, offset });
+        }};
+    }
+    macro_rules! load {
+        ($width:expr, $signed:expr) => {{
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let (base, offset) = e.mem_operand(n, &ops[1])?;
+            e.push(Instr::Load { rd, base, offset, width: $width, signed: $signed });
+        }};
+    }
+
+    match mnemonic {
+        "add" => r3!(Add),
+        "sub" => r3!(Sub),
+        "and" => r3!(And),
+        "or" => r3!(Or),
+        "xor" => r3!(Xor),
+        "sll" => r3!(Sll),
+        "srl" => r3!(Srl),
+        "sra" => r3!(Sra),
+        "slt" => r3!(Slt),
+        "sltu" => r3!(Sltu),
+        "mul" => r3!(Mul),
+        "div" => r3!(Div),
+        "rem" => r3!(Rem),
+        "addi" => i3!(Addi),
+        "andi" => i3!(Andi),
+        "ori" => i3!(Ori),
+        "xori" => i3!(Xori),
+        "slti" => i3!(Slti),
+        "slli" => i3!(Slli),
+        "srli" => i3!(Srli),
+        "srai" => i3!(Srai),
+        "subi" => {
+            // pseudo: addi with negated immediate
+            want(3)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs1 = e.reg(n, &ops[1])?;
+            let imm = check_imm18(n, -e.resolve(n, &parse_value(n, &ops[2])?)?)?;
+            e.push(Instr::Addi { rd, rs1, imm });
+        }
+        "lui" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let imm = e.resolve(n, &parse_value(n, &ops[1])?)?;
+            let (lo, hi) = imm22_range();
+            if imm < lo as i64 || imm > hi as i64 {
+                return Err(AsmError::new(n, format!("lui immediate {imm} does not fit 22 bits")));
+            }
+            e.push(Instr::Lui { rd, imm: imm as i32 });
+        }
+        "lw" => load!(MemWidth::Word, false),
+        "lh" => load!(MemWidth::Half, true),
+        "lhu" => load!(MemWidth::Half, false),
+        "lb" => load!(MemWidth::Byte, true),
+        "lbu" => load!(MemWidth::Byte, false),
+        "sw" | "sh" | "sb" => {
+            want(2)?;
+            let src = e.reg(n, &ops[0])?;
+            let (base, offset) = e.mem_operand(n, &ops[1])?;
+            let width = match mnemonic {
+                "sw" => MemWidth::Word,
+                "sh" => MemWidth::Half,
+                _ => MemWidth::Byte,
+            };
+            e.push(Instr::Store { src, base, offset, width });
+        }
+        "beq" => {
+            want(3)?;
+            branch!(Beq, &ops[0], &ops[1], &ops[2]);
+        }
+        "bne" => {
+            want(3)?;
+            branch!(Bne, &ops[0], &ops[1], &ops[2]);
+        }
+        "blt" => {
+            want(3)?;
+            branch!(Blt, &ops[0], &ops[1], &ops[2]);
+        }
+        "bge" => {
+            want(3)?;
+            branch!(Bge, &ops[0], &ops[1], &ops[2]);
+        }
+        "bltu" => {
+            want(3)?;
+            branch!(Bltu, &ops[0], &ops[1], &ops[2]);
+        }
+        "bgeu" => {
+            want(3)?;
+            branch!(Bgeu, &ops[0], &ops[1], &ops[2]);
+        }
+        "ble" => {
+            want(3)?;
+            branch!(Bge, &ops[1], &ops[0], &ops[2]);
+        }
+        "bgt" => {
+            want(3)?;
+            branch!(Blt, &ops[1], &ops[0], &ops[2]);
+        }
+        "bleu" => {
+            want(3)?;
+            branch!(Bgeu, &ops[1], &ops[0], &ops[2]);
+        }
+        "bgtu" => {
+            want(3)?;
+            branch!(Bltu, &ops[1], &ops[0], &ops[2]);
+        }
+        "beqz" => {
+            want(2)?;
+            branch!(Beq, &ops[0], "zero", &ops[1]);
+        }
+        "bnez" => {
+            want(2)?;
+            branch!(Bne, &ops[0], "zero", &ops[1]);
+        }
+        "bltz" => {
+            want(2)?;
+            branch!(Blt, &ops[0], "zero", &ops[1]);
+        }
+        "bgez" => {
+            want(2)?;
+            branch!(Bge, &ops[0], "zero", &ops[1]);
+        }
+        "jal" => match ops.len() {
+            1 => {
+                let offset = e.jump_target(n, &ops[0])?;
+                e.push(Instr::Jal { rd: Reg::Ra, offset });
+            }
+            2 => {
+                let rd = e.reg(n, &ops[0])?;
+                let offset = e.jump_target(n, &ops[1])?;
+                e.push(Instr::Jal { rd, offset });
+            }
+            _ => return Err(AsmError::new(n, "jal expects 1 or 2 operands")),
+        },
+        "jalr" => match ops.len() {
+            1 => {
+                let base = e.reg(n, &ops[0])?;
+                e.push(Instr::Jalr { rd: Reg::Ra, base, offset: 0 });
+            }
+            2 => {
+                let rd = e.reg(n, &ops[0])?;
+                let (base, offset) = e.mem_operand(n, &ops[1])?;
+                e.push(Instr::Jalr { rd, base, offset });
+            }
+            _ => return Err(AsmError::new(n, "jalr expects 1 or 2 operands")),
+        },
+        "j" => {
+            want(1)?;
+            let offset = e.jump_target(n, &ops[0])?;
+            e.push(Instr::Jal { rd: Reg::Zero, offset });
+        }
+        "jr" => {
+            want(1)?;
+            let base = e.reg(n, &ops[0])?;
+            e.push(Instr::Jalr { rd: Reg::Zero, base, offset: 0 });
+        }
+        "ret" => {
+            want(0)?;
+            e.push(Instr::Jalr { rd: Reg::Zero, base: Reg::Ra, offset: 0 });
+        }
+        "call" => {
+            want(1)?;
+            let offset = e.jump_target(n, &ops[0])?;
+            e.push(Instr::Jal { rd: Reg::Ra, offset });
+        }
+        "li" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let value = parse_int(n, &ops[1])?;
+            if value < i32::MIN as i64 || value > u32::MAX as i64 {
+                return Err(AsmError::new(n, format!("li value {value} does not fit 32 bits")));
+            }
+            e.emit_li(rd, value);
+        }
+        "la" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let addr = e.resolve(n, &parse_value(n, &ops[1])?)? as u32;
+            e.emit_lui_ori(rd, addr);
+        }
+        "mv" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs1 = e.reg(n, &ops[1])?;
+            e.push(Instr::Addi { rd, rs1, imm: 0 });
+        }
+        "neg" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs2 = e.reg(n, &ops[1])?;
+            e.push(Instr::Sub { rd, rs1: Reg::Zero, rs2 });
+        }
+        "not" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs1 = e.reg(n, &ops[1])?;
+            e.push(Instr::Xori { rd, rs1, imm: -1 });
+        }
+        "snez" => {
+            want(2)?;
+            let rd = e.reg(n, &ops[0])?;
+            let rs2 = e.reg(n, &ops[1])?;
+            e.push(Instr::Sltu { rd, rs1: Reg::Zero, rs2 });
+        }
+        "nop" => {
+            want(0)?;
+            e.push(Instr::NOP);
+        }
+        "halt" => {
+            want(0)?;
+            e.push(Instr::Halt);
+        }
+        _ => return Err(AsmError::new(n, format!("unknown mnemonic `{mnemonic}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble(".text\nmain:\n  li a0, 7\n  halt\n").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.entry, TEXT_BASE);
+        assert_eq!(p.symbol("main"), Some(TEXT_BASE));
+    }
+
+    #[test]
+    fn li_expands_by_size() {
+        let small = assemble(" li a0, 100\n halt").unwrap();
+        assert_eq!(small.len(), 2);
+        let big = assemble(" li a0, 0x123456\n halt").unwrap();
+        assert_eq!(big.len(), 3);
+        // Verify the lui/ori pair reconstructs the value.
+        let lui = Instr::decode(big.text[0]).unwrap();
+        let ori = Instr::decode(big.text[1]).unwrap();
+        match (lui, ori) {
+            (Instr::Lui { imm: hi, .. }, Instr::Ori { imm: lo, .. }) => {
+                assert_eq!(((hi as u32) << 14) | lo as u32, 0x123456);
+            }
+            other => panic!("unexpected expansion {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_negative_value() {
+        let p = assemble(" li a0, -2000000\n halt").unwrap();
+        assert_eq!(p.len(), 3);
+        let lui = Instr::decode(p.text[0]).unwrap();
+        let ori = Instr::decode(p.text[1]).unwrap();
+        match (lui, ori) {
+            (Instr::Lui { imm: hi, .. }, Instr::Ori { imm: lo, .. }) => {
+                let v = (((hi as u32) << 14) | lo as u32) as i32;
+                assert_eq!(v, -2000000);
+            }
+            other => panic!("unexpected expansion {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                li t0, 0
+            loop:
+                addi t0, t0, 1
+                blt  t0, a0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        // blt is at pc 8; loop is at 4; offset must be -4.
+        match p.fetch(8).unwrap() {
+            Instr::Blt { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("expected blt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn data_directives_and_la() {
+        let p = assemble(
+            r#"
+            .text
+                la a0, tab
+                lw a1, 4(a0)
+                halt
+            .data
+            tab: .word 10, 20, 30
+            str: .asciz "hi"
+            buf: .space 8, 0xff
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("tab"), Some(DATA_BASE));
+        assert_eq!(p.symbol("str"), Some(DATA_BASE + 12));
+        assert_eq!(p.symbol("buf"), Some(DATA_BASE + 15));
+        let seg = &p.data[0];
+        assert_eq!(&seg.bytes[..4], &10u32.to_le_bytes());
+        assert_eq!(&seg.bytes[12..15], b"hi\0");
+        assert_eq!(seg.bytes[15], 0xff);
+    }
+
+    #[test]
+    fn word_accepts_labels() {
+        let p = assemble(
+            r#"
+            .text
+                halt
+            .data
+            a: .word 1
+            ptrs: .word a, a+4
+            "#,
+        )
+        .unwrap();
+        let seg = &p.data[0];
+        let w1 = u32::from_le_bytes(seg.bytes[4..8].try_into().unwrap());
+        let w2 = u32::from_le_bytes(seg.bytes[8..12].try_into().unwrap());
+        assert_eq!(w1, DATA_BASE);
+        assert_eq!(w2, DATA_BASE + 4);
+    }
+
+    #[test]
+    fn org_and_align() {
+        let p = assemble(
+            r#"
+            .text
+                halt
+            .data
+            x: .byte 1
+               .align 4
+            y: .word 2
+               .org 0x200000
+            z: .word 3
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("x"), Some(DATA_BASE));
+        assert_eq!(p.symbol("y"), Some(DATA_BASE + 4));
+        assert_eq!(p.symbol("z"), Some(0x200000));
+        assert_eq!(p.data.len(), 3); // byte, aligned word, org'd word
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let err = assemble(".text\n bad a0, a1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad"));
+
+        let err = assemble(".text\n addi a0, a1\n").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+
+        let err = assemble(".text\n lw a0, 4(q9)\n").unwrap_err();
+        assert!(err.message.contains("q9"));
+
+        let err = assemble(".text\n j nowhere\n").unwrap_err();
+        assert!(err.message.contains("undefined label"));
+
+        let err = assemble(".text\nx:\nx:\n halt\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        let err = assemble(".text\n addi a0, a0, 200000\n halt\n").unwrap_err();
+        assert!(err.message.contains("18 bits"));
+    }
+
+    #[test]
+    fn duplicate_data_overlap_detected() {
+        let err = assemble(
+            r#"
+            .text
+                halt
+            .data
+            a: .word 1, 2
+               .org 0x100004
+            b: .word 3
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                mv  a0, a1
+                neg a2, a0
+                not a3, a0
+                snez t0, a0
+                nop
+                call f
+                j end
+            f:  ret
+            end: halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; top\n.text\n# hash comment\n\n halt ; trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn entry_defaults_to_main() {
+        let p = assemble(".text\n nop\nmain:\n halt\n").unwrap();
+        assert_eq!(p.entry, 4);
+    }
+}

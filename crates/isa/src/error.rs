@@ -1,0 +1,81 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// An assembly-time error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A runtime error raised by the functional interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The word at `pc` did not decode.
+    InvalidInstruction {
+        /// Program counter of the bad word.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A data access touched an address outside the memory.
+    OutOfBounds {
+        /// Program counter of the access.
+        pc: u32,
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// A multi-byte access was not naturally aligned.
+    Misaligned {
+        /// Program counter of the access.
+        pc: u32,
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// The step budget given to `run` was exhausted before `halt`.
+    StepLimit {
+        /// Number of instructions executed.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidInstruction { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#010x}")
+            }
+            ExecError::OutOfBounds { pc, addr } => {
+                write!(f, "out-of-bounds access to {addr:#010x} at pc {pc:#010x}")
+            }
+            ExecError::Misaligned { pc, addr } => {
+                write!(f, "misaligned access to {addr:#010x} at pc {pc:#010x}")
+            }
+            ExecError::StepLimit { executed } => {
+                write!(f, "step limit reached after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

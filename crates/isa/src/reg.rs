@@ -1,0 +1,179 @@
+//! General-purpose register file names.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of general-purpose registers in the EHS-RV register file.
+pub const NUM_REGS: usize = 16;
+
+/// One of the 16 general-purpose registers.
+///
+/// `Zero` is hard-wired to zero (writes are discarded), matching the RISC
+/// convention; `Ra` receives return addresses from `call`/`jal`, and `Sp`
+/// is the conventional stack pointer initialised by the loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// r0 — hard-wired zero.
+    Zero = 0,
+    /// r1 — return address.
+    Ra = 1,
+    /// r2 — stack pointer.
+    Sp = 2,
+    /// r3 — argument / return value 0.
+    A0 = 3,
+    /// r4 — argument 1.
+    A1 = 4,
+    /// r5 — argument 2.
+    A2 = 5,
+    /// r6 — argument 3.
+    A3 = 6,
+    /// r7 — temporary 0.
+    T0 = 7,
+    /// r8 — temporary 1.
+    T1 = 8,
+    /// r9 — temporary 2.
+    T2 = 9,
+    /// r10 — temporary 3.
+    T3 = 10,
+    /// r11 — temporary 4.
+    T4 = 11,
+    /// r12 — saved 0.
+    S0 = 12,
+    /// r13 — saved 1.
+    S1 = 13,
+    /// r14 — saved 2.
+    S2 = 14,
+    /// r15 — saved 3.
+    S3 = 15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::Zero,
+        Reg::Ra,
+        Reg::Sp,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+    ];
+
+    /// The register's index in the register file (0..16).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from a file index.
+    ///
+    /// Returns `None` if `idx >= 16`.
+    pub fn from_index(idx: usize) -> Option<Reg> {
+        Reg::ALL.get(idx).copied()
+    }
+
+    /// Canonical (ABI) name, e.g. `"a0"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Zero => "zero",
+            Reg::Ra => "ra",
+            Reg::Sp => "sp",
+            Reg::A0 => "a0",
+            Reg::A1 => "a1",
+            Reg::A2 => "a2",
+            Reg::A3 => "a3",
+            Reg::T0 => "t0",
+            Reg::T1 => "t1",
+            Reg::T2 => "t2",
+            Reg::T3 => "t3",
+            Reg::T4 => "t4",
+            Reg::S0 => "s0",
+            Reg::S1 => "s1",
+            Reg::S2 => "s2",
+            Reg::S3 => "s3",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a register name does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(pub String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses either an ABI name (`a0`, `sp`, …) or a raw index (`r0`..`r15`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        for r in Reg::ALL {
+            if r.name() == s {
+                return Ok(r);
+            }
+        }
+        if let Some(num) = s.strip_prefix('r') {
+            if let Ok(idx) = num.parse::<usize>() {
+                if let Some(r) = Reg::from_index(idx) {
+                    return Ok(r);
+                }
+            }
+        }
+        Err(ParseRegError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!("a0".parse::<Reg>(), Ok(Reg::A0));
+        assert_eq!("zero".parse::<Reg>(), Ok(Reg::Zero));
+        assert_eq!("sp".parse::<Reg>(), Ok(Reg::Sp));
+    }
+
+    #[test]
+    fn parse_raw_names() {
+        assert_eq!("r0".parse::<Reg>(), Ok(Reg::Zero));
+        assert_eq!("r15".parse::<Reg>(), Ok(Reg::S3));
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::T2.to_string(), "t2");
+    }
+}

@@ -1,0 +1,29 @@
+//! Cache-block address arithmetic.
+
+/// Cache block (line) size in bytes — fixed at 16 B by the paper's
+/// configuration (Table 1) for both caches and the prefetch buffers.
+pub const BLOCK_SIZE: u32 = 16;
+
+/// Returns the block-aligned base address containing `addr`.
+///
+/// ```
+/// assert_eq!(ehs_mem::block_of(0x1237), 0x1230);
+/// assert_eq!(ehs_mem::block_of(0x1230), 0x1230);
+/// ```
+#[inline]
+pub fn block_of(addr: u32) -> u32 {
+    addr & !(BLOCK_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_masks_low_bits() {
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(15), 0);
+        assert_eq!(block_of(16), 16);
+        assert_eq!(block_of(0xffff_ffff), 0xffff_fff0);
+    }
+}

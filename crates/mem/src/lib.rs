@@ -1,0 +1,32 @@
+//! # ehs-mem — memory hierarchy models for the EHS simulator
+//!
+//! Timing/metadata models of the memory system evaluated in the IPEX paper
+//! (Table 1): small SRAM instruction/data caches, per-cache prefetch
+//! buffers, and a nonvolatile main memory (ReRAM by default) behind a
+//! simple bus.
+//!
+//! These models track *tags, timing and statistics only* — actual data
+//! values live in the functional interpreter of `ehs-isa` (see its crate
+//! docs for why the split is sound for this study). Power failure wipes
+//! cache and prefetch-buffer state via [`Cache::power_loss`] and
+//! [`PrefetchBuffer::power_loss`], which is exactly the loss IPEX is
+//! designed to anticipate.
+//!
+//! ```
+//! use ehs_mem::{Cache, CacheConfig};
+//!
+//! let mut dcache = Cache::new(CacheConfig::paper_default());
+//! assert!(!dcache.access(0x1000, false)); // cold miss
+//! dcache.fill(0x1000, false);
+//! assert!(dcache.access(0x1004, false)); // same 16-byte block: hit
+//! ```
+
+mod block;
+mod buffer;
+mod cache;
+mod nvm;
+
+pub use block::{block_of, BLOCK_SIZE};
+pub use buffer::{BufferLookup, PrefetchBuffer, PrefetchBufferStats};
+pub use cache::{Cache, CacheConfig, CacheStats, Writeback};
+pub use nvm::{Nvm, NvmConfig, NvmStats, NvmTech, ReadReason, DEFAULT_NVM_BYTES};

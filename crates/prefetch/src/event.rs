@@ -1,0 +1,77 @@
+//! The demand-access events a prefetcher observes.
+
+/// Where a demand access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Hit in the cache proper.
+    CacheHit,
+    /// Hit in the prefetch buffer (a useful prefetch; the block is
+    /// promoted into the cache).
+    BufferHit,
+    /// Missed everywhere; serviced by NVM.
+    Miss,
+}
+
+impl AccessOutcome {
+    /// `true` if the access was *not* satisfied by the cache proper —
+    /// the classic trigger condition for most prefetchers.
+    #[inline]
+    pub fn is_miss_like(self) -> bool {
+        matches!(self, AccessOutcome::BufferHit | AccessOutcome::Miss)
+    }
+}
+
+/// One demand access as seen by a [`Prefetcher`](crate::Prefetcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Program counter of the instruction performing the access. For
+    /// instruction prefetchers this equals `addr`.
+    pub pc: u32,
+    /// Byte address accessed.
+    pub addr: u32,
+    /// Where the access was satisfied.
+    pub outcome: AccessOutcome,
+    /// `true` for stores.
+    pub is_write: bool,
+}
+
+impl AccessEvent {
+    /// Convenience constructor for an instruction-fetch event.
+    pub fn fetch(pc: u32, outcome: AccessOutcome) -> AccessEvent {
+        AccessEvent {
+            pc,
+            addr: pc,
+            outcome,
+            is_write: false,
+        }
+    }
+
+    /// Convenience constructor for a data access.
+    pub fn data(pc: u32, addr: u32, outcome: AccessOutcome, is_write: bool) -> AccessEvent {
+        AccessEvent {
+            pc,
+            addr,
+            outcome,
+            is_write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_like_classification() {
+        assert!(AccessOutcome::Miss.is_miss_like());
+        assert!(AccessOutcome::BufferHit.is_miss_like());
+        assert!(!AccessOutcome::CacheHit.is_miss_like());
+    }
+
+    #[test]
+    fn fetch_event_pc_equals_addr() {
+        let e = AccessEvent::fetch(0x40, AccessOutcome::Miss);
+        assert_eq!(e.pc, e.addr);
+        assert!(!e.is_write);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ehs-sim — cycle-level nonvolatile-processor simulator
+//!
+//! Ties the workspace together into the evaluated system: a 200 MHz
+//! in-order core (functional execution by `ehs-isa`'s interpreter) behind
+//! a 2 kB ICache and 2 kB DCache with per-cache prefetch buffers
+//! (`ehs-mem`), hardware prefetchers (`ehs-prefetch`) optionally
+//! throttled by IPEX (`ipex`), a ReRAM main memory, and a harvested
+//! energy supply with a 0.47 µF capacitor (`ehs-energy`).
+//!
+//! The crash-consistency model is NVSRAMCache: when the capacitor falls
+//! to `V_backup`, the machine JIT-checkpoints all dirty cache blocks to
+//! NVM and the register file to nonvolatile flip-flops, powers off, and
+//! recharges until `V_on`; on reboot the registers are restored and the
+//! caches come back cold. The *ideal* variant (Fig. 11) makes backup and
+//! restore free.
+//!
+//! ```no_run
+//! use ehs_sim::{Machine, SimConfig};
+//!
+//! let workload = ehs_workloads::by_name("fft").unwrap();
+//! let mut machine = Machine::new(SimConfig::baseline(), &workload.program());
+//! let result = machine.run().expect("completes within the cycle budget");
+//! println!("cycles: {}", result.stats.total_cycles);
+//! ```
+
+mod config;
+mod machine;
+mod result;
+
+pub use config::{PrefetchMode, SimConfig, CYCLES_PER_TRACE_SAMPLE};
+pub use machine::{Machine, SimError};
+pub use result::{SimResult, SimStats};

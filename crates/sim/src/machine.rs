@@ -1,0 +1,694 @@
+//! The simulated machine and its main loop.
+
+use ehs_energy::{mw_to_nj_per_cycle, Capacitor, EnergyBreakdown, PowerTrace};
+use ehs_isa::{ExecClass, ExecError, Interpreter, Program};
+use ehs_mem::{Cache, Nvm, PrefetchBuffer, ReadReason};
+use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher};
+use ipex::Throttle;
+
+use crate::config::{PrefetchMode, CYCLES_PER_TRACE_SAMPLE};
+
+/// Fraction of the NVM array's leakage power that is actually awake
+/// during a transfer: only the addressed bank and shared periphery are
+/// un-gated, not the whole 16 MB array.
+const NVM_ACTIVE_LEAK_FRACTION: f64 = 1.0;
+use crate::{SimConfig, SimResult, SimStats};
+
+/// Volatile register state checkpointed to NVFFs on every outage:
+/// 16 × 32-bit registers plus the 32-bit PC.
+const CORE_NVFF_BITS: u32 = 16 * 32 + 32;
+/// IPEX counters checkpointed per IPEX-enabled cache
+/// (`Rthrottled` + `Rtotal`).
+const IPEX_NVFF_BITS: u32 = 64;
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured cycle budget ran out (e.g. the harvested power can
+    /// never recharge the capacitor).
+    CycleLimit {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+    },
+    /// The program faulted.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { max_cycles } => {
+                write!(f, "simulation exceeded the {max_cycles}-cycle budget")
+            }
+            SimError::Exec(e) => write!(f, "program fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+/// One side (instruction or data) of the memory hierarchy.
+struct MemPath {
+    cache: Cache,
+    buf: PrefetchBuffer,
+    pf: Box<dyn Prefetcher>,
+    throttle: Throttle,
+}
+
+impl MemPath {
+    fn power_loss(&mut self) {
+        self.cache.checkpoint_flush(); // ICache is never dirty; DCache flush counted by caller
+        self.cache.power_loss();
+        self.buf.power_loss();
+        self.pf.power_loss();
+        self.throttle.on_power_failure();
+    }
+}
+
+/// The simulated energy-harvesting system.
+///
+/// Construct with [`Machine::new`] (default synthetic RFHome trace) or
+/// [`Machine::with_trace`], then call [`Machine::run`].
+pub struct Machine {
+    cfg: SimConfig,
+    interp: Interpreter,
+    ipath: MemPath,
+    dpath: MemPath,
+    nvm: Nvm,
+    cap: Capacitor,
+    trace: PowerTrace,
+    cycle: u64,
+    stats: SimStats,
+    energy: EnergyBreakdown,
+    /// Dynamic energy charged since the last `advance_on`.
+    pending_draw_nj: f64,
+    /// Cached per-cycle leakage, nJ: (icache, dcache, core, nvm).
+    leak_nj: (f64, f64, f64, f64),
+    /// Scratch buffer for prefetch candidates.
+    cand: Vec<u32>,
+}
+
+impl Machine {
+    /// Builds a machine over `program` with the standard synthetic
+    /// RFHome trace ([`SimConfig::default_trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (invalid
+    /// cache geometry, zero-entry prefetch buffer, bad capacitor
+    /// ordering).
+    pub fn new(cfg: SimConfig, program: &Program) -> Machine {
+        Machine::with_trace(cfg, program, SimConfig::default_trace())
+    }
+
+    /// Builds a machine with an explicit power trace.
+    ///
+    /// # Panics
+    ///
+    /// See [`Machine::new`].
+    pub fn with_trace(cfg: SimConfig, program: &Program, trace: PowerTrace) -> Machine {
+        let build_path = |mode: &PrefetchMode, is_inst: bool| -> MemPath {
+            let pf: Box<dyn Prefetcher> = match mode {
+                PrefetchMode::Off => Box::new(ehs_prefetch::NullPrefetcher::new()),
+                _ => {
+                    if is_inst {
+                        cfg.inst_prefetcher.build(cfg.prefetch_degree)
+                    } else {
+                        cfg.data_prefetcher.build(cfg.prefetch_degree)
+                    }
+                }
+            };
+            let throttle = match mode {
+                PrefetchMode::Ipex(ic) => Throttle::ipex(*ic),
+                _ => Throttle::Passthrough,
+            };
+            MemPath {
+                cache: Cache::new(if is_inst { cfg.icache } else { cfg.dcache }),
+                buf: PrefetchBuffer::new(cfg.prefetch_buffer_entries),
+                pf,
+                throttle,
+            }
+        };
+        let ipath = build_path(&cfg.inst_mode, true);
+        let dpath = build_path(&cfg.data_mode, false);
+        let interp = Interpreter::with_mem_size(program, cfg.nvm.size_bytes as usize);
+        // NVM standby power is gated: being nonvolatile, the array and
+        // its periphery are powered only during transfers (charged per
+        // access below). Idle leakage is caches + core only.
+        let leak_nj = (
+            cfg.energy.cache_leak_nj_per_cycle(cfg.icache.size_bytes),
+            cfg.energy.cache_leak_nj_per_cycle(cfg.dcache.size_bytes),
+            cfg.energy.core_leak_nj_per_cycle(),
+            mw_to_nj_per_cycle(cfg.nvm.leak_mw),
+        );
+        Machine {
+            interp,
+            ipath,
+            dpath,
+            nvm: Nvm::new(cfg.nvm),
+            cap: Capacitor::full(cfg.capacitor),
+            trace,
+            cycle: 0,
+            stats: SimStats::default(),
+            energy: EnergyBreakdown::new(),
+            pending_draw_nj: 0.0,
+            leak_nj,
+            cand: Vec::with_capacity(8),
+            cfg,
+        }
+    }
+
+    /// Current simulated cycle (on + off time).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current capacitor voltage.
+    pub fn voltage(&self) -> f64 {
+        self.cap.voltage()
+    }
+
+    /// Reads an architectural register of the simulated core — useful to
+    /// check a workload's checksum (`a0`) after [`Machine::run`].
+    pub fn reg(&self, r: ehs_isa::Reg) -> u32 {
+        self.interp.reg(r)
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Runs the program to completion across power cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the budget runs out before `halt`,
+    /// [`SimError::Exec`] if the program faults.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        // The first power cycle starts implicitly (capacitor full).
+        self.stats.power_cycles = 1;
+        while !self.interp.halted() {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    max_cycles: self.cfg.max_cycles,
+                });
+            }
+            self.step_instruction()?;
+        }
+        Ok(self.result())
+    }
+
+    /// Snapshot of all statistics so far.
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            stats: self.stats,
+            energy: self.energy,
+            icache: self.ipath.cache.stats(),
+            dcache: self.dpath.cache.stats(),
+            ibuf: self.ipath.buf.stats(),
+            dbuf: self.dpath.buf.stats(),
+            nvm: self.nvm.stats(),
+            ipex_i: self.ipath.throttle.stats(),
+            ipex_d: self.dpath.throttle.stats(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core loop
+    // ------------------------------------------------------------------
+
+    fn step_instruction(&mut self) -> Result<(), SimError> {
+        // Voltage monitor: IPEX threshold crossings (possibly reissuing
+        // throttled prefetches, §5.1 extension) and the backup trigger.
+        let v = self.cap.voltage();
+        if let Some(reissue) = self.ipath.throttle.observe_voltage(v) {
+            for block in reissue {
+                issue_prefetch(
+                    &mut self.ipath,
+                    &mut self.nvm,
+                    &mut self.energy,
+                    &mut self.stats,
+                    &mut self.pending_draw_nj,
+                    self.cycle,
+                    block,
+                );
+            }
+        }
+        if let Some(reissue) = self.dpath.throttle.observe_voltage(v) {
+            for block in reissue {
+                issue_prefetch(
+                    &mut self.dpath,
+                    &mut self.nvm,
+                    &mut self.energy,
+                    &mut self.stats,
+                    &mut self.pending_draw_nj,
+                    self.cycle,
+                    block,
+                );
+            }
+        }
+        if self.cap.needs_backup() {
+            return self.outage_and_reboot();
+        }
+
+        // Instruction fetch through the ICache.
+        let pc = self.interp.pc();
+        let fetch_cycles = self.mem_access(true, pc, pc, false);
+
+        // Execute (functional).
+        let step = self.interp.step()?;
+        let exec_cycles = match step.instr.class() {
+            ExecClass::Alu => self.cfg.latencies[0],
+            ExecClass::Mul => self.cfg.latencies[1],
+            ExecClass::Div => self.cfg.latencies[2],
+            ExecClass::Branch => self.cfg.latencies[3],
+            ExecClass::Jump => self.cfg.latencies[4],
+            ExecClass::Load | ExecClass::Store => 1,
+            ExecClass::Halt => 1,
+        };
+        let compute_nj = match step.instr.class() {
+            ExecClass::Mul => self.cfg.energy.compute.mul_nj,
+            ExecClass::Div => self.cfg.energy.compute.div_nj,
+            ExecClass::Load | ExecClass::Store => self.cfg.energy.compute.mem_nj,
+            _ => self.cfg.energy.compute.alu_nj,
+        };
+        self.energy.compute_nj += compute_nj;
+        self.pending_draw_nj += compute_nj;
+
+        // Data access through the DCache.
+        let mem_cycles = match step.access {
+            Some(acc) => {
+                let is_write = acc.kind == ehs_isa::AccessKind::Write;
+                self.mem_access(false, step.pc, acc.addr, is_write)
+            }
+            None => 0,
+        };
+
+        self.stats.instructions += 1;
+        self.advance_on(fetch_cycles + exec_cycles + mem_cycles);
+        Ok(())
+    }
+
+    /// One demand access through a cache path; returns its total cycles
+    /// (1-cycle hit plus any stall).
+    fn mem_access(&mut self, inst: bool, pc: u32, addr: u32, is_write: bool) -> u64 {
+        let now = self.cycle;
+        // Split borrows: the chosen path, NVM, energy, stats and the
+        // candidate buffer are all disjoint fields.
+        let Machine {
+            ipath,
+            dpath,
+            nvm,
+            energy,
+            stats,
+            pending_draw_nj,
+            cand,
+            cfg,
+            ..
+        } = self;
+        let path = if inst { ipath } else { dpath };
+
+        // Cache probe.
+        let access_nj = cfg.energy.cache_access_nj;
+        energy.cache_nj += access_nj;
+        *pending_draw_nj += access_nj;
+        let hit = path.cache.access(addr, is_write);
+
+        let mut latency = 1u64;
+        let outcome = if hit {
+            AccessOutcome::CacheHit
+        } else if let Some(found) = path.buf.lookup(addr, now) {
+            // Useful prefetch: promote into the cache; a late prefetch
+            // stalls until the NVM read completes (§5.1 duplicate
+            // suppression).
+            latency += found.ready_at.saturating_sub(now);
+            fill_cache(path, nvm, energy, pending_draw_nj, now, addr, is_write, access_nj);
+            AccessOutcome::BufferHit
+        } else {
+            // Demand miss to NVM.
+            let done = nvm.read(now, ReadReason::Demand);
+            if inst {
+                stats.i_demand_reads += 1;
+            } else {
+                stats.d_demand_reads += 1;
+            }
+            // Dynamic block transfer plus the gated array's active-window
+            // leakage for the transfer duration.
+            let read_nj = cfg.nvm.block_read_nj()
+                + mw_to_nj_per_cycle(cfg.nvm.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.nvm.read_cycles as f64;
+            energy.memory_nj += read_nj;
+            *pending_draw_nj += read_nj;
+            latency += done - now;
+            fill_cache(path, nvm, energy, pending_draw_nj, now, addr, is_write, access_nj);
+            AccessOutcome::Miss
+        };
+
+        // Prefetcher observation, IPEX filtering, and issue in priority
+        // order.
+        let event = if inst {
+            AccessEvent::fetch(addr, outcome)
+        } else {
+            AccessEvent::data(pc, addr, outcome, is_write)
+        };
+        cand.clear();
+        path.pf.observe(&event, cand);
+        path.throttle.filter(cand);
+        for &block in cand.iter() {
+            issue_prefetch(path, nvm, energy, stats, pending_draw_nj, now, block);
+        }
+
+        let stall = latency - 1;
+        if inst {
+            stats.istall_cycles += stall;
+        } else {
+            stats.dstall_cycles += stall;
+        }
+        latency
+    }
+
+    /// Advances on-time by `n` cycles: leakage + pending dynamic draw
+    /// leave the capacitor, harvested energy enters it.
+    fn advance_on(&mut self, n: u64) {
+        let (li, ld, lc, _ln) = self.leak_nj;
+        let nf = n as f64;
+        self.energy.cache_nj += (li + ld) * nf;
+        self.energy.compute_nj += lc * nf;
+        let draw = (li + ld + lc) * nf + self.pending_draw_nj;
+        self.pending_draw_nj = 0.0;
+        self.cap.consume_nj(draw);
+        let harvested = self.harvest_span(self.cycle, n);
+        self.cap.harvest_nj(harvested);
+        self.cycle += n;
+        self.stats.on_cycles += n;
+        self.stats.total_cycles = self.cycle;
+    }
+
+    /// Harvested energy (nJ) over `[start, start + n)` cycles.
+    fn harvest_span(&self, start: u64, n: u64) -> f64 {
+        let mut total = 0.0;
+        let mut c = start;
+        let end = start + n;
+        while c < end {
+            let idx = c / CYCLES_PER_TRACE_SAMPLE;
+            let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
+            let take = end.min(boundary) - c;
+            total += self.trace.harvest_nj_per_cycle(idx) * take as f64;
+            c = end.min(boundary);
+        }
+        total
+    }
+
+    /// JIT checkpoint, power-off, recharge, restore.
+    fn outage_and_reboot(&mut self) -> Result<(), SimError> {
+        let ideal = self.cfg.ideal_backup;
+
+        // --- backup ---
+        if !ideal {
+            let dirty = self.dpath.cache.dirty_count() + self.ipath.cache.dirty_count();
+            self.stats.checkpoint_blocks += dirty as u64;
+            let mut backup_cycles = self.cfg.backup_base_cycles;
+            for _ in 0..dirty {
+                let done = self.nvm.write(self.cycle + backup_cycles);
+                backup_cycles = done - self.cycle;
+                let w = self.cfg.nvm.block_write_nj();
+                self.energy.backup_restore_nj += w;
+                self.cap.consume_nj(w);
+            }
+            let mut bits = CORE_NVFF_BITS;
+            if self.ipath.throttle.is_ipex() {
+                bits += IPEX_NVFF_BITS;
+            }
+            if self.dpath.throttle.is_ipex() {
+                bits += IPEX_NVFF_BITS;
+            }
+            let store = self.cfg.energy.nvff_store_nj(bits);
+            self.energy.backup_restore_nj += store;
+            self.cap.consume_nj(store);
+            // Leakage during the backup window, drawn from the reserve
+            // (the NVM is active then: its leakage rides on the writes).
+            let (li, ld, lc, ln) = self.leak_nj;
+            let leak = (li + ld + lc + ln) * backup_cycles as f64;
+            self.energy.backup_restore_nj += leak;
+            self.cap.consume_nj(leak);
+            self.cycle += backup_cycles;
+            self.stats.off_cycles += backup_cycles;
+        }
+
+        // --- volatile state is lost ---
+        self.ipath.power_loss();
+        self.dpath.power_loss();
+
+        // --- recharge (consuming nothing while off) ---
+        while !self.cap.can_boot() {
+            if self.cycle >= self.cfg.max_cycles {
+                self.stats.total_cycles = self.cycle;
+                return Err(SimError::CycleLimit {
+                    max_cycles: self.cfg.max_cycles,
+                });
+            }
+            let idx = self.cycle / CYCLES_PER_TRACE_SAMPLE;
+            let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
+            let take = boundary - self.cycle;
+            self.cap.harvest_nj(self.trace.harvest_nj_per_cycle(idx) * take as f64);
+            self.cycle = boundary;
+            self.stats.off_cycles += take;
+        }
+
+        // --- reboot: restore registers, cold caches ---
+        if !ideal {
+            let mut bits = CORE_NVFF_BITS;
+            if self.ipath.throttle.is_ipex() {
+                bits += IPEX_NVFF_BITS;
+            }
+            if self.dpath.throttle.is_ipex() {
+                bits += IPEX_NVFF_BITS;
+            }
+            let restore = self.cfg.energy.nvff_restore_nj(bits);
+            self.energy.backup_restore_nj += restore;
+            self.cap.consume_nj(restore);
+            self.cycle += self.cfg.restore_cycles;
+            self.stats.off_cycles += self.cfg.restore_cycles;
+        }
+        self.nvm.power_cycle_reset(self.cycle);
+        self.ipath.throttle.on_reboot();
+        self.dpath.throttle.on_reboot();
+        self.stats.power_cycles += 1;
+        self.stats.total_cycles = self.cycle;
+        Ok(())
+    }
+}
+
+/// Installs a block in the cache, handling a dirty eviction (write-back
+/// to NVM: port traffic + energy, no pipeline stall — write-buffer
+/// semantics).
+#[allow(clippy::too_many_arguments)]
+fn fill_cache(
+    path: &mut MemPath,
+    nvm: &mut Nvm,
+    energy: &mut EnergyBreakdown,
+    pending: &mut f64,
+    now: u64,
+    addr: u32,
+    is_write: bool,
+    access_nj: f64,
+) {
+    energy.cache_nj += access_nj;
+    *pending += access_nj;
+    if let Some(_wb) = path.cache.fill(addr, is_write) {
+        nvm.write(now);
+        let cfg = nvm.config();
+        let w = cfg.block_write_nj()
+            + mw_to_nj_per_cycle(cfg.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.write_cycles as f64;
+        energy.memory_nj += w;
+        *pending += w;
+    }
+}
+
+/// Issues one prefetch: skipped if the block is already cached or
+/// in-flight, otherwise an NVM read is scheduled and the buffer records
+/// the completion time.
+fn issue_prefetch(
+    path: &mut MemPath,
+    nvm: &mut Nvm,
+    energy: &mut EnergyBreakdown,
+    stats: &mut SimStats,
+    pending: &mut f64,
+    now: u64,
+    block: u32,
+) {
+    if path.cache.contains(block) {
+        stats.redundant_cache_skips += 1;
+        return;
+    }
+    if path.buf.contains(block) {
+        stats.redundant_cache_skips += 1;
+        return;
+    }
+    let done = nvm.read(now, ReadReason::Prefetch);
+    let cfg = nvm.config();
+    let r = cfg.block_read_nj()
+        + mw_to_nj_per_cycle(cfg.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.read_cycles as f64;
+    energy.memory_nj += r;
+    *pending += r;
+    path.buf.insert(block, done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehs_energy::CapacitorConfig;
+    use ehs_isa::asm;
+
+    fn tiny_program() -> Program {
+        // ~60k cycles of streaming loads/stores: long enough to span
+        // several power cycles under weak harvested power.
+        asm::assemble(
+            r#"
+            .text
+            main:
+                li   t0, 0
+                li   t1, 6000
+                la   a1, buf
+            loop:
+                andi t4, t0, 255
+                slli t2, t4, 2
+                add  t2, a1, t2
+                sw   t0, 0(t2)
+                lw   t3, 0(t2)
+                add  a0, a0, t3
+                addi t0, t0, 1
+                blt  t0, t1, loop
+                halt
+            .data
+            buf: .space 1024
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn steady_power(cfg: SimConfig) -> SimResult {
+        // 50 mW >> draw: never an outage.
+        let trace = PowerTrace::constant_mw(50.0, 16);
+        Machine::with_trace(cfg, &tiny_program(), trace).run().unwrap()
+    }
+
+    #[test]
+    fn completes_under_steady_power_without_outage() {
+        let r = steady_power(SimConfig::baseline());
+        assert_eq!(r.stats.power_cycles, 1);
+        assert_eq!(r.stats.off_cycles, 0);
+        assert!(r.stats.instructions > 1000);
+        assert_eq!(r.stats.total_cycles, r.stats.on_cycles);
+    }
+
+    #[test]
+    fn prefetching_reduces_cycles_on_streaming_code() {
+        let no_pf = steady_power(SimConfig::no_prefetch());
+        let pf = steady_power(SimConfig::baseline());
+        assert!(
+            pf.stats.total_cycles < no_pf.stats.total_cycles,
+            "prefetch {} >= none {}",
+            pf.stats.total_cycles,
+            no_pf.stats.total_cycles
+        );
+        assert!(pf.nvm.prefetch_reads > 0);
+        assert_eq!(no_pf.nvm.prefetch_reads, 0);
+    }
+
+    #[test]
+    fn weak_power_causes_outages_and_checkpoints() {
+        // 2 mW << draw: frequent outages.
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        let mut m = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace);
+        let r = m.run().unwrap();
+        assert!(r.stats.power_cycles > 1, "expected outages");
+        assert!(r.stats.off_cycles > 0);
+        assert!(r.energy.backup_restore_nj > 0.0);
+        assert!(r.stats.checkpoint_blocks > 0, "dirty DCache lines must be flushed");
+    }
+
+    #[test]
+    fn ideal_backup_is_faster_and_cheaper() {
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        let real = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace.clone())
+            .run()
+            .unwrap();
+        let ideal = Machine::with_trace(SimConfig::baseline().with_ideal_backup(), &tiny_program(), trace)
+            .run()
+            .unwrap();
+        assert!(ideal.stats.total_cycles <= real.stats.total_cycles);
+        assert_eq!(ideal.energy.backup_restore_nj, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let a = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace.clone())
+            .run()
+            .unwrap();
+        let b = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace)
+            .run()
+            .unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.nvm, b.nvm);
+    }
+
+    #[test]
+    fn ipex_throttles_under_weak_power() {
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        let r = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace)
+            .run()
+            .unwrap();
+        let ipex_d = r.ipex_d.expect("IPEX enabled on DCache");
+        assert!(ipex_d.throttled > 0, "weak power must throttle some prefetches");
+        assert!(r.stats.power_cycles > 1);
+    }
+
+    #[test]
+    fn never_boots_hits_cycle_limit() {
+        // 0.001 mW can never recharge the capacitor after the first
+        // outage.
+        let trace = PowerTrace::constant_mw(0.001, 16);
+        let mut cfg = SimConfig::baseline();
+        cfg.max_cycles = 5_000_000;
+        let err = Machine::with_trace(cfg, &tiny_program(), trace).run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn energy_buckets_are_populated() {
+        let r = steady_power(SimConfig::baseline());
+        assert!(r.energy.cache_nj > 0.0);
+        assert!(r.energy.memory_nj > 0.0);
+        assert!(r.energy.compute_nj > 0.0);
+        assert!(r.total_energy_nj() > 0.0);
+    }
+
+    #[test]
+    fn larger_capacitor_means_fewer_power_cycles() {
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let small = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace.clone())
+            .run()
+            .unwrap();
+        let mut big_cfg = SimConfig::baseline();
+        big_cfg.capacitor = CapacitorConfig::with_capacitance_uf(47.0);
+        let big = Machine::with_trace(big_cfg, &tiny_program(), trace).run().unwrap();
+        assert!(big.stats.power_cycles < small.stats.power_cycles);
+    }
+
+    #[test]
+    fn faulting_program_reports_exec_error() {
+        let p = asm::assemble(".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n").unwrap();
+        let err = Machine::with_trace(SimConfig::baseline(), &p, PowerTrace::constant_mw(50.0, 4))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Exec(_)));
+    }
+}

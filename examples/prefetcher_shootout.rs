@@ -1,0 +1,36 @@
+//! Compares every instruction and data prefetcher on a pointer-chasing
+//! workload (patricia), with and without IPEX.
+//!
+//! Run with: `cargo run --release --example prefetcher_shootout`
+
+use ehs_repro::prefetch::{DataPrefetcherKind, InstPrefetcherKind};
+use ehs_repro::sim::{Machine, SimConfig};
+
+fn main() {
+    let workload = ehs_repro::workloads::by_name("patricia").expect("known workload");
+    let program = workload.program();
+    let trace = SimConfig::default_trace();
+
+    println!("patricia (bitwise-trie lookups) under RFHome\n");
+    println!("{:>12} {:>12} {:>6} {:>12} {:>10} {:>8} {:>8}", "inst-pf", "data-pf", "IPEX", "cycles", "energy(uJ)", "acc(I)", "acc(D)");
+    for ikind in InstPrefetcherKind::TABLE3 {
+        for dkind in DataPrefetcherKind::TABLE4 {
+            for ipex_on in [false, true] {
+                let mut cfg = if ipex_on { SimConfig::ipex_both() } else { SimConfig::baseline() };
+                cfg.inst_prefetcher = ikind;
+                cfg.data_prefetcher = dkind;
+                let r = Machine::with_trace(cfg, &program, trace.clone()).run().expect("completes");
+                println!(
+                    "{:>12} {:>12} {:>6} {:>12} {:>10.2} {:>7.1}% {:>7.1}%",
+                    ikind.name(),
+                    dkind.name(),
+                    if ipex_on { "yes" } else { "no" },
+                    r.stats.total_cycles,
+                    r.total_energy_nj() / 1000.0,
+                    r.inst_prefetch_accuracy() * 100.0,
+                    r.data_prefetch_accuracy() * 100.0,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate one benchmark on the default energy-harvesting
+//! system, with and without IPEX, and print the headline numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ehs_repro::sim::{Machine, SimConfig};
+
+fn main() {
+    let workload = ehs_repro::workloads::by_name("adpcmd").expect("known workload");
+    let program = workload.program();
+    let trace = SimConfig::default_trace();
+
+    println!("workload: {} — {}", workload.name(), workload.description());
+    println!("program:  {} instructions of text, {} B of data\n", program.len(), program.footprint());
+
+    let baseline = Machine::with_trace(SimConfig::baseline(), &program, trace.clone())
+        .run()
+        .expect("baseline completes");
+    let ipex = Machine::with_trace(SimConfig::ipex_both(), &program, trace)
+        .run()
+        .expect("ipex completes");
+
+    for (name, r) in [("conventional prefetchers", &baseline), ("with IPEX", &ipex)] {
+        println!("== {name} ==");
+        println!("  execution time : {} cycles ({:.2} ms at 200 MHz)", r.stats.total_cycles, r.stats.total_cycles as f64 * 5e-6);
+        println!("  power cycles   : {}", r.stats.power_cycles);
+        println!("  energy         : {:.0} nJ", r.total_energy_nj());
+        println!("  prefetch ops   : {}", r.prefetch_operations());
+        println!(
+            "  prefetch acc.  : I {:.1}%  D {:.1}%",
+            r.inst_prefetch_accuracy() * 100.0,
+            r.data_prefetch_accuracy() * 100.0
+        );
+    }
+    println!(
+        "\nIPEX speedup: {:.2}%   energy saving: {:.2}%",
+        (ipex.speedup_over(&baseline) - 1.0) * 100.0,
+        (1.0 - ipex.total_energy_nj() / baseline.total_energy_nj()) * 100.0
+    );
+}

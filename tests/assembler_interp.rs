@@ -1,0 +1,74 @@
+//! Integration tests across the assembler and interpreter: the printed
+//! listing of an assembled program re-assembles to the same image for
+//! straight assembly, and workload programs execute identically when
+//! reassembled.
+
+use ehs_repro::isa::{asm, Instr, Interpreter, Reg};
+
+#[test]
+fn workload_sources_reassemble_identically() {
+    for w in &ehs_repro::workloads::SUITE {
+        let src = w.source();
+        let a = asm::assemble(&src).unwrap();
+        let b = asm::assemble(&src).unwrap();
+        assert_eq!(a, b, "{} assembly is not deterministic", w.name());
+    }
+}
+
+#[test]
+fn decoded_text_round_trips_through_encode() {
+    // Every word of every workload decodes, and re-encoding reproduces
+    // the exact word (no information loss in the decoder).
+    for w in &ehs_repro::workloads::SUITE {
+        let p = w.program();
+        for (i, &word) in p.text.iter().enumerate() {
+            let instr = Instr::decode(word)
+                .unwrap_or_else(|e| panic!("{}: word {i} undecodable: {e}", w.name()));
+            assert_eq!(instr.encode(), word, "{}: word {i} ({instr}) re-encodes differently", w.name());
+        }
+    }
+}
+
+#[test]
+fn interpreter_halts_every_workload_within_budget() {
+    for w in &ehs_repro::workloads::SUITE {
+        let mut vm = Interpreter::new(&w.program());
+        let steps = vm.run(80_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        assert!(steps > 10_000, "{} suspiciously short ({steps} instructions)", w.name());
+        assert_eq!(vm.reg(Reg::A0), w.reference_checksum(), "{} checksum", w.name());
+    }
+}
+
+#[test]
+fn recursive_call_chain_works() {
+    // Exercise deep call/return through the stack: recursive triangular
+    // number.
+    let p = asm::assemble(
+        r#"
+        .text
+        main:
+            li   a0, 10
+            call tri
+            halt
+        ; tri(n) = n + tri(n-1), tri(0) = 0
+        tri:
+            bnez a0, rec
+            ret
+        rec:
+            subi sp, sp, 8
+            sw   ra, 0(sp)
+            sw   a0, 4(sp)
+            subi a0, a0, 1
+            call tri
+            lw   t0, 4(sp)
+            add  a0, a0, t0
+            lw   ra, 0(sp)
+            addi sp, sp, 8
+            ret
+        "#,
+    )
+    .unwrap();
+    let mut vm = Interpreter::new(&p);
+    vm.run(10_000).unwrap();
+    assert_eq!(vm.reg(Reg::A0), 55);
+}

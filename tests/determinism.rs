@@ -1,0 +1,47 @@
+//! Reproducibility: identical configuration + trace => bit-identical
+//! results. This is what makes cross-configuration speedups fair (the
+//! paper's "same amount of input energy" methodology).
+
+use ehs_repro::energy::TraceKind;
+use ehs_repro::sim::{Machine, SimConfig, SimResult};
+
+fn run(cfg: SimConfig) -> SimResult {
+    let w = ehs_repro::workloads::by_name("jpegd").unwrap();
+    Machine::with_trace(cfg, &w.program(), TraceKind::RfOffice.synthesize(5, 300_000))
+        .run()
+        .expect("completes")
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for cfg in [SimConfig::baseline(), SimConfig::ipex_both(), SimConfig::no_prefetch()] {
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.nvm, b.nvm);
+        assert_eq!(a.icache, b.icache);
+        assert_eq!(a.dcache, b.dcache);
+        assert_eq!(a.ibuf, b.ibuf);
+        assert_eq!(a.dbuf, b.dbuf);
+        assert_eq!(a.ipex_i, b.ipex_i);
+        assert!((a.energy.total_nj() - b.energy.total_nj()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn trace_synthesis_is_stable_across_threads() {
+    let handles: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(|| TraceKind::RfHome.synthesize(42, 50_000)))
+        .collect();
+    let traces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for t in &traces[1..] {
+        assert_eq!(*t, traces[0]);
+    }
+}
+
+#[test]
+fn workload_generation_is_stable() {
+    let a = ehs_repro::workloads::by_name("susanc").unwrap().source();
+    let b = ehs_repro::workloads::by_name("susanc").unwrap().source();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,50 @@
+//! Cross-crate integration: the cycle-level simulator must preserve each
+//! workload's architectural result across power failures — the whole
+//! point of the NVSRAMCache crash-consistency model. Every workload's
+//! checksum must match its reference model even when execution is
+//! chopped into dozens of power cycles.
+
+use ehs_repro::energy::{PowerTrace, TraceKind};
+use ehs_repro::isa::Reg;
+use ehs_repro::sim::{Machine, SimConfig};
+
+fn check(workload: &ehs_repro::workloads::Workload, cfg: SimConfig, trace: PowerTrace) {
+    let mut m = Machine::with_trace(cfg, &workload.program(), trace);
+    let r = m.run().unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
+    assert_eq!(
+        m.reg(Reg::A0),
+        workload.reference_checksum(),
+        "{}: checksum corrupted across {} power cycles",
+        workload.name(),
+        r.stats.power_cycles
+    );
+}
+
+#[test]
+fn checksums_survive_intermittent_execution_baseline() {
+    // A weak supply so every workload crosses many outages.
+    for w in &ehs_repro::workloads::SUITE {
+        check(w, SimConfig::baseline(), TraceKind::RfHome.synthesize(9, 400_000));
+    }
+}
+
+#[test]
+fn checksums_survive_intermittent_execution_ipex() {
+    for w in &ehs_repro::workloads::SUITE {
+        check(w, SimConfig::ipex_both(), TraceKind::RfHome.synthesize(9, 400_000));
+    }
+}
+
+#[test]
+fn checksums_survive_under_every_trace_kind() {
+    let w = ehs_repro::workloads::by_name("rijndaele").unwrap();
+    for kind in TraceKind::ALL {
+        check(w, SimConfig::ipex_both(), kind.synthesize(3, 400_000));
+    }
+}
+
+#[test]
+fn checksum_matches_under_steady_power_too() {
+    let w = ehs_repro::workloads::by_name("fft").unwrap();
+    check(w, SimConfig::no_prefetch(), PowerTrace::constant_mw(50.0, 8));
+}

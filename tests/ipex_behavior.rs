@@ -1,0 +1,69 @@
+//! End-to-end behaviour of the IPEX controller inside the full system.
+
+use ehs_repro::energy::TraceKind;
+use ehs_repro::sim::{Machine, SimConfig, SimResult};
+
+fn run(cfg: SimConfig, name: &str) -> SimResult {
+    let w = ehs_repro::workloads::by_name(name).unwrap();
+    Machine::with_trace(cfg, &w.program(), TraceKind::RfHome.synthesize(42, 400_000))
+        .run()
+        .expect("completes")
+}
+
+#[test]
+fn ipex_reduces_prefetch_operations() {
+    let base = run(SimConfig::baseline(), "adpcmd");
+    let ipex = run(SimConfig::ipex_both(), "adpcmd");
+    assert!(
+        ipex.prefetch_operations() < base.prefetch_operations(),
+        "IPEX must issue fewer prefetches ({} vs {})",
+        ipex.prefetch_operations(),
+        base.prefetch_operations()
+    );
+    let s = ipex.ipex_i.expect("IPEX stats present");
+    assert!(s.throttled > 0, "some candidates must be throttled");
+    assert!(s.power_cycles > 1);
+}
+
+#[test]
+fn ipex_saves_energy_on_prefetch_heavy_workloads() {
+    // adpcmd is one of the biggest IPEX winners in our calibration; a
+    // regression here means the mechanism broke.
+    let base = run(SimConfig::baseline(), "adpcmd");
+    let ipex = run(SimConfig::ipex_both(), "adpcmd");
+    assert!(
+        ipex.total_energy_nj() < base.total_energy_nj(),
+        "IPEX energy {} >= baseline {}",
+        ipex.total_energy_nj(),
+        base.total_energy_nj()
+    );
+    assert!(ipex.stats.total_cycles < base.stats.total_cycles, "IPEX must be faster on adpcmd");
+}
+
+#[test]
+fn ipex_adapts_thresholds_across_power_cycles() {
+    let ipex = run(SimConfig::ipex_both(), "gsmd");
+    let s = ipex.ipex_i.expect("stats");
+    assert!(
+        s.threshold_lowers + s.threshold_raises > 0,
+        "adaptation must trigger across {} power cycles",
+        s.power_cycles
+    );
+}
+
+#[test]
+fn ipex_never_corrupts_mode_accounting() {
+    let ipex = run(SimConfig::ipex_both(), "gsme");
+    let s = ipex.ipex_d.expect("stats");
+    let rate = s.overall_throttle_rate();
+    assert!((0.0..=1.0).contains(&rate));
+    assert_eq!(s.reissued, 0, "reissue extension is off by default");
+}
+
+#[test]
+fn ideal_backup_never_slower() {
+    let real = run(SimConfig::ipex_both(), "basicm");
+    let ideal = run(SimConfig::ipex_both().with_ideal_backup(), "basicm");
+    assert!(ideal.stats.total_cycles <= real.stats.total_cycles);
+    assert_eq!(ideal.energy.backup_restore_nj, 0.0);
+}

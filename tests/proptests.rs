@@ -1,0 +1,155 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use ehs_repro::energy::{Capacitor, CapacitorConfig, PowerTrace};
+use ehs_repro::isa::{Instr, MemWidth, Reg};
+use ehs_repro::mem::{block_of, Cache, CacheConfig, PrefetchBuffer, BLOCK_SIZE};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_imm18() -> impl Strategy<Value = i32> {
+    -(1i32 << 17)..(1i32 << 17)
+}
+
+fn arb_imm22() -> impl Strategy<Value = i32> {
+    -(1i32 << 21)..(1i32 << 21)
+}
+
+fn r3() -> impl Strategy<Value = (Reg, Reg, Reg)> {
+    (arb_reg(), arb_reg(), arb_reg())
+}
+
+fn i3() -> impl Strategy<Value = (Reg, Reg, i32)> {
+    (arb_reg(), arb_reg(), arb_imm18())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        r3().prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
+        r3().prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+        r3().prop_map(|(rd, rs1, rs2)| Instr::Sltu { rd, rs1, rs2 }),
+        i3().prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        i3().prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
+        (arb_reg(), arb_imm22()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (arb_reg(), arb_reg(), arb_imm18(), prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)])
+            .prop_map(|(rd, base, offset, width)| Instr::Load { rd, base, offset, width, signed: width != MemWidth::Word }),
+        (arb_reg(), arb_reg(), arb_imm18(), prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)])
+            .prop_map(|(src, base, offset, width)| Instr::Store { src, base, offset, width }),
+        i3().prop_map(|(rs1, rs2, offset)| Instr::Beq { rs1, rs2, offset }),
+        i3().prop_map(|(rs1, rs2, offset)| Instr::Bgeu { rs1, rs2, offset }),
+        (arb_reg(), arb_imm22()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), arb_imm18()).prop_map(|(rd, base, offset)| Instr::Jalr { rd, base, offset }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Every instruction survives an encode/decode round trip.
+    #[test]
+    fn instr_encode_decode_round_trip(i in arb_instr()) {
+        let decoded = Instr::decode(i.encode()).expect("valid encoding");
+        prop_assert_eq!(decoded, i);
+    }
+
+    /// The cache agrees with a naive software LRU model on arbitrary
+    /// access streams.
+    #[test]
+    fn cache_matches_naive_lru_model(accesses in proptest::collection::vec((0u32..0x4000, any::<bool>()), 1..400)) {
+        let cfg = CacheConfig { size_bytes: 256, assoc: 2 };
+        let mut cache = Cache::new(cfg);
+        // Naive model: per set, a Vec of blocks in LRU order (front = LRU).
+        let sets = cfg.num_sets();
+        let mut model: Vec<Vec<u32>> = vec![Vec::new(); sets as usize];
+        for (addr, is_write) in accesses {
+            let block = block_of(addr);
+            let set = ((block / BLOCK_SIZE) % sets) as usize;
+            let hit = cache.access(addr, is_write);
+            let model_hit = model[set].contains(&block);
+            prop_assert_eq!(hit, model_hit, "addr {:#x}", addr);
+            if model_hit {
+                model[set].retain(|b| *b != block);
+                model[set].push(block);
+            } else {
+                cache.fill(addr, is_write);
+                if model[set].len() == cfg.assoc as usize {
+                    model[set].remove(0);
+                }
+                model[set].push(block);
+            }
+        }
+    }
+
+    /// The capacitor never exceeds its capacity, never goes negative,
+    /// and voltage is monotone in stored energy.
+    #[test]
+    fn capacitor_invariants(ops in proptest::collection::vec((any::<bool>(), 0.0f64..500.0), 1..200)) {
+        let cfg = CapacitorConfig::paper_default();
+        let mut cap = Capacitor::full(cfg);
+        let max_energy = cfg.energy_at_nj(cfg.v_max);
+        for (harvest, amount) in ops {
+            let before = cap.energy_nj();
+            if harvest {
+                cap.harvest_nj(amount);
+                prop_assert!(cap.energy_nj() >= before - 1e-9);
+            } else {
+                cap.consume_nj(amount);
+                prop_assert!(cap.energy_nj() <= before + 1e-9);
+            }
+            prop_assert!(cap.energy_nj() >= 0.0);
+            prop_assert!(cap.energy_nj() <= max_energy + 1e-9);
+            prop_assert!(cap.voltage() <= cfg.v_max + 1e-9);
+        }
+    }
+
+    /// Prefetch-buffer occupancy is bounded and its statistics conserve:
+    /// every inserted entry is eventually useful, evicted, lost, or
+    /// still resident.
+    #[test]
+    fn prefetch_buffer_conservation(ops in proptest::collection::vec((0u8..4, 0u32..0x200), 1..300)) {
+        let mut buf = PrefetchBuffer::new(4);
+        for (op, val) in ops {
+            let addr = val * 16;
+            match op {
+                0 | 1 => buf.insert(addr, u64::from(val)),
+                2 => {
+                    let _ = buf.lookup(addr, 0);
+                }
+                _ => buf.power_loss(),
+            }
+            prop_assert!(buf.len() <= buf.capacity());
+            let s = buf.stats();
+            prop_assert_eq!(s.inserted, s.useful + s.evicted_unused + s.lost_unused + buf.len() as u64);
+        }
+    }
+
+    /// Power-trace text serialisation round-trips arbitrary sample sets.
+    #[test]
+    fn trace_text_round_trip(samples in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        let t = PowerTrace::from_samples_mw(samples);
+        let back = PowerTrace::from_text(&t.to_text()).expect("parses");
+        prop_assert_eq!(back.len(), t.len());
+        for i in 0..t.len() as u64 {
+            prop_assert!((back.power_mw_at(i) - t.power_mw_at(i)).abs() < 1e-5);
+        }
+    }
+
+    /// The IPEX degree ladder is monotone in voltage: a lower voltage
+    /// never yields a higher prefetch degree.
+    #[test]
+    fn ipex_degree_monotone_in_voltage(mut voltages in proptest::collection::vec(3.0f64..3.6, 2..50)) {
+        use ehs_repro::ipex::{IpexConfig, IpexController};
+        // Feed a descending voltage ramp: degree must never increase.
+        voltages.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut ctl = IpexController::new(IpexConfig::paper_default());
+        let mut last = u32::MAX;
+        for v in voltages {
+            ctl.observe_voltage(v);
+            let d = ctl.current_degree();
+            prop_assert!(d <= last, "degree rose from {last} to {d} as voltage fell");
+            last = d;
+        }
+    }
+}
