@@ -7,8 +7,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ehs_energy::PowerTrace;
 use ehs_isa::Interpreter;
 use ehs_mem::{Cache, CacheConfig, PrefetchBuffer};
-use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher, SequentialPrefetcher, StridePrefetcher};
-use ehs_sim::{Machine, SimConfig};
+use ehs_prefetch::{
+    AccessEvent, AccessOutcome, Prefetcher, SequentialPrefetcher, StridePrefetcher,
+};
+use ehs_sim::{Machine, SimConfig, TraceMode};
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/access_hit", |b| {
@@ -45,7 +47,10 @@ fn bench_prefetchers(c: &mut Criterion) {
         b.iter(|| {
             addr = addr.wrapping_add(64);
             out.clear();
-            p.observe(&AccessEvent::data(0x40, addr, AccessOutcome::Miss, false), &mut out);
+            p.observe(
+                &AccessEvent::data(0x40, addr, AccessOutcome::Miss, false),
+                &mut out,
+            );
             black_box(out.len())
         });
     });
@@ -91,5 +96,34 @@ fn bench_machine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache, bench_prefetchers, bench_interpreter, bench_machine);
+/// The tracing cost contract: `sim/machine_60k_cycles` above runs with
+/// tracing compiled in but off ([`TraceMode::Off`] is the default), and
+/// must stay within 2% of the pre-tracing simulator. These two variants
+/// measure the additional cost of actually enabling it.
+fn bench_tracing(c: &mut Criterion) {
+    let program = ehs_workloads::by_name("gsmd").unwrap().program();
+    let trace = PowerTrace::constant_mw(50.0, 16);
+    let run = |mode: TraceMode| {
+        let mut cfg = SimConfig::ipex_both().with_trace_mode(mode);
+        cfg.max_cycles = 60_000;
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        let _ = m.run();
+        m.result().stats.instructions
+    };
+    c.bench_function("trace/machine_60k_off", |b| {
+        b.iter(|| black_box(run(TraceMode::Off)));
+    });
+    c.bench_function("trace/machine_60k_counting", |b| {
+        b.iter(|| black_box(run(TraceMode::Counting)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_prefetchers,
+    bench_interpreter,
+    bench_machine,
+    bench_tracing
+);
 criterion_main!(benches);

@@ -10,8 +10,20 @@ fn main() {
     let trace = SimConfig::default_trace();
     let variants: Vec<(&str, IpexConfig)> = vec![
         ("adaptive (default)", IpexConfig::paper_default()),
-        ("fixed thresholds", IpexConfig { adaptive_thresholds: false, ..IpexConfig::paper_default() }),
-        ("reissue extension", IpexConfig { reissue_throttled: true, ..IpexConfig::paper_default() }),
+        (
+            "fixed thresholds",
+            IpexConfig {
+                adaptive_thresholds: false,
+                ..IpexConfig::paper_default()
+            },
+        ),
+        (
+            "reissue extension",
+            IpexConfig {
+                reissue_throttled: true,
+                ..IpexConfig::paper_default()
+            },
+        ),
         (
             "fixed + reissue",
             IpexConfig {

@@ -19,7 +19,16 @@ fn main() {
 
     println!(
         "{:10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "app", "base_cyc", "pcycles", "stall_i", "stall_d", "nopf", "ipexD", "ipexID", "accI", "accD"
+        "app",
+        "base_cyc",
+        "pcycles",
+        "stall_i",
+        "stall_d",
+        "nopf",
+        "ipexD",
+        "ipexID",
+        "accI",
+        "accD"
     );
     for w in &ehs_workloads::SUITE {
         let n = w.name();
@@ -42,20 +51,44 @@ fn main() {
     let (_, g_nopf) = speedups(&no_pf, &base);
     let (_, g_d) = speedups(&base, &ipex_d);
     let (_, g_id) = speedups(&base, &ipex);
-    println!("\nbaseline vs no-prefetch gmean speedup: {:.4} (paper: 1.0496)", g_nopf);
-    println!("IPEX(data) vs baseline gmean speedup:  {:.4} (paper: 1.0373)", g_d);
-    println!("IPEX(both) vs baseline gmean speedup:  {:.4} (paper: 1.0896)", g_id);
+    println!(
+        "\nbaseline vs no-prefetch gmean speedup: {:.4} (paper: 1.0496)",
+        g_nopf
+    );
+    println!(
+        "IPEX(data) vs baseline gmean speedup:  {:.4} (paper: 1.0373)",
+        g_d
+    );
+    println!(
+        "IPEX(both) vs baseline gmean speedup:  {:.4} (paper: 1.0896)",
+        g_id
+    );
 
     let e_ratio: Vec<f64> = ehs_workloads::SUITE
         .iter()
         .map(|w| ipex[w.name()].total_energy_nj() / base[w.name()].total_energy_nj())
         .collect();
-    println!("IPEX(both) energy vs baseline gmean:   {:.4} (paper: 0.9214)", gmean(&e_ratio));
+    println!(
+        "IPEX(both) energy vs baseline gmean:   {:.4} (paper: 0.9214)",
+        gmean(&e_ratio)
+    );
 
-    let acc_i: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| base[w.name()].inst_prefetch_accuracy()).collect();
-    let acc_d: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| base[w.name()].data_prefetch_accuracy()).collect();
-    let acc_i2: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| ipex[w.name()].inst_prefetch_accuracy()).collect();
-    let acc_d2: Vec<f64> = ehs_workloads::SUITE.iter().map(|w| ipex[w.name()].data_prefetch_accuracy()).collect();
+    let acc_i: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| base[w.name()].inst_prefetch_accuracy())
+        .collect();
+    let acc_d: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| base[w.name()].data_prefetch_accuracy())
+        .collect();
+    let acc_i2: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| ipex[w.name()].inst_prefetch_accuracy())
+        .collect();
+    let acc_d2: Vec<f64> = ehs_workloads::SUITE
+        .iter()
+        .map(|w| ipex[w.name()].data_prefetch_accuracy())
+        .collect();
     println!(
         "accuracy I/D baseline: {}/{}   IPEX: {}/{}  (paper: 54/53 -> 73/65)",
         pct(gmean(&acc_i)),
@@ -65,7 +98,13 @@ fn main() {
     );
     let pfred: Vec<f64> = ehs_workloads::SUITE
         .iter()
-        .map(|w| 1.0 - ipex[w.name()].prefetch_operations() as f64 / base[w.name()].prefetch_operations().max(1) as f64)
+        .map(|w| {
+            1.0 - ipex[w.name()].prefetch_operations() as f64
+                / base[w.name()].prefetch_operations().max(1) as f64
+        })
         .collect();
-    println!("prefetch-op reduction mean: {} (paper: 7.11%)", pct(pfred.iter().sum::<f64>() / pfred.len() as f64));
+    println!(
+        "prefetch-op reduction mean: {} (paper: 7.11%)",
+        pct(pfred.iter().sum::<f64>() / pfred.len() as f64)
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
     let sizes = [256u32, 512, 1024, 2048, 4096, 8192];
     let mut results = BTreeMap::new();
     for &s in &sizes {
-        results.insert(s, run_suite(&SimConfig::no_prefetch().with_cache_size(s), &trace));
+        results.insert(
+            s,
+            run_suite(&SimConfig::no_prefetch().with_cache_size(s), &trace),
+        );
     }
     let base = &results[&2048];
     let mut rows = Vec::new();
@@ -28,7 +31,9 @@ fn main() {
         let r = &results[&s];
         let speeds: Vec<f64> = ehs_workloads::SUITE
             .iter()
-            .map(|w| base[w.name()].stats.total_cycles as f64 / r[w.name()].stats.total_cycles as f64)
+            .map(|w| {
+                base[w.name()].stats.total_cycles as f64 / r[w.name()].stats.total_cycles as f64
+            })
             .collect();
         // Leakage share: cache leak power / total energy. The cache
         // bucket is access energy + leakage; recompute leakage directly.
@@ -36,8 +41,9 @@ fn main() {
             .iter()
             .map(|w| {
                 let res = &r[w.name()];
-                let leak_nj =
-                    2.0 * SimConfig::baseline().energy.cache_leak_nj_per_cycle(s) * res.stats.on_cycles as f64;
+                let leak_nj = 2.0
+                    * SimConfig::baseline().energy.cache_leak_nj_per_cycle(s)
+                    * res.stats.on_cycles as f64;
                 leak_nj / res.total_energy_nj()
             })
             .collect();

@@ -24,11 +24,21 @@ fn main() {
             istall: r.stats.istall_fraction(),
             dstall: r.stats.dstall_fraction(),
         };
-        println!("{:10} ICache {:>8}  DCache {:>8}", row.app, pct(row.istall), pct(row.dstall));
+        println!(
+            "{:10} ICache {:>8}  DCache {:>8}",
+            row.app,
+            pct(row.istall),
+            pct(row.dstall)
+        );
         rows.push(row);
     }
     let gi = rows.iter().map(|r| r.istall).sum::<f64>() / rows.len() as f64;
     let gd = rows.iter().map(|r| r.dstall).sum::<f64>() / rows.len() as f64;
-    println!("{:10} ICache {:>8}  DCache {:>8}   (paper: 23.45% / 18.64%)", "mean", pct(gi), pct(gd));
+    println!(
+        "{:10} ICache {:>8}  DCache {:>8}   (paper: 23.45% / 18.64%)",
+        "mean",
+        pct(gi),
+        pct(gd)
+    );
     write_results("fig02_stall_breakdown", &rows);
 }

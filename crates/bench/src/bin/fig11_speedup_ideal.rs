@@ -25,9 +25,15 @@ fn main() {
     let (r1, g1) = speedups(&base, &ipex_d);
     let (r2, g2) = speedups(&base, &ipex);
     let mut rows = Vec::new();
-    println!("{:10} {:>8} {:>8} {:>8}", "app", "no-pf", "+IPEX(D)", "+IPEX(I+D)");
+    println!(
+        "{:10} {:>8} {:>8} {:>8}",
+        "app", "no-pf", "+IPEX(D)", "+IPEX(I+D)"
+    );
     for i in 0..r0.len() {
-        println!("{:10} {:>8.3} {:>8.3} {:>8.3}", r0[i].0, r0[i].1, r1[i].1, r2[i].1);
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3}",
+            r0[i].0, r0[i].1, r1[i].1, r2[i].1
+        );
         rows.push(Row {
             app: r0[i].0.to_owned(),
             no_prefetch: r0[i].1,
@@ -35,7 +41,15 @@ fn main() {
             ipex_both: r2[i].1,
         });
     }
-    println!("{:10} {:>8.3} {:>8.3} {:>8.3}  (paper IPEX-both gmean: 1.0906)", "gmean", g0, g1, g2);
-    rows.push(Row { app: "gmean".into(), no_prefetch: g0, ipex_data: g1, ipex_both: g2 });
+    println!(
+        "{:10} {:>8.3} {:>8.3} {:>8.3}  (paper IPEX-both gmean: 1.0906)",
+        "gmean", g0, g1, g2
+    );
+    rows.push(Row {
+        app: "gmean".into(),
+        no_prefetch: g0,
+        ipex_data: g1,
+        ipex_both: g2,
+    });
     write_results("fig11_speedup_ideal", &rows);
 }

@@ -12,7 +12,10 @@ struct Row {
 }
 
 fn main() {
-    banner("fig12", "prefetch-operation reduction, IPEX on both prefetchers");
+    banner(
+        "fig12",
+        "prefetch-operation reduction, IPEX on both prefetchers",
+    );
     let trace = SimConfig::default_trace();
     let base = run_suite(&SimConfig::baseline(), &trace);
     let ipex = run_suite(&SimConfig::ipex_both(), &trace);

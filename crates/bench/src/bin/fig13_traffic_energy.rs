@@ -23,7 +23,8 @@ fn main() {
         let i = &ipex[w.name()];
         let row = Row {
             app: w.name(),
-            traffic_reduction: 1.0 - i.nvm.total_traffic() as f64 / b.nvm.total_traffic().max(1) as f64,
+            traffic_reduction: 1.0
+                - i.nvm.total_traffic() as f64 / b.nvm.total_traffic().max(1) as f64,
             normalized_energy: i.total_energy_nj() / b.total_energy_nj(),
         };
         println!(
@@ -36,6 +37,11 @@ fn main() {
     }
     let mt = rows.iter().map(|r| r.traffic_reduction).sum::<f64>() / rows.len() as f64;
     let me = rows.iter().map(|r| r.normalized_energy).sum::<f64>() / rows.len() as f64;
-    println!("{:10} traffic {:>8}   energy {:>7.4}  (paper: 2.00% / 0.921)", "mean", pct(mt), me);
+    println!(
+        "{:10} traffic {:>8}   energy {:>7.4}  (paper: 2.00% / 0.921)",
+        "mean",
+        pct(mt),
+        me
+    );
     write_results("fig13_traffic_energy", &rows);
 }

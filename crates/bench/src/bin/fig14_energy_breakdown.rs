@@ -17,7 +17,12 @@ struct Row {
     total: f64,
 }
 
-fn bar(app: &'static str, config: &'static str, e: &EnergyBreakdown, base: &EnergyBreakdown) -> Row {
+fn bar(
+    app: &'static str,
+    config: &'static str,
+    e: &EnergyBreakdown,
+    base: &EnergyBreakdown,
+) -> Row {
     let n = e.normalized_to(base);
     Row {
         app,
@@ -31,13 +36,19 @@ fn bar(app: &'static str, config: &'static str, e: &EnergyBreakdown, base: &Ener
 }
 
 fn main() {
-    banner("fig14", "normalised energy breakdown (baseline / +IPEX(D) / +IPEX(I+D))");
+    banner(
+        "fig14",
+        "normalised energy breakdown (baseline / +IPEX(D) / +IPEX(I+D))",
+    );
     let trace = SimConfig::default_trace();
     let base = run_suite(&SimConfig::baseline(), &trace);
     let ipex_d = run_suite(&SimConfig::ipex_data_only(), &trace);
     let ipex = run_suite(&SimConfig::ipex_both(), &trace);
     let mut rows = Vec::new();
-    println!("{:10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}", "app", "config", "cache", "mem", "comp", "bk+rst", "total");
+    println!(
+        "{:10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "config", "cache", "mem", "comp", "bk+rst", "total"
+    );
     for w in &ehs_workloads::SUITE {
         let b = &base[w.name()].energy;
         for (cfg, e) in [
@@ -48,12 +59,23 @@ fn main() {
             let row = bar(w.name(), cfg, e, b);
             println!(
                 "{:10} {:>10} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-                row.app, row.config, row.cache, row.memory, row.compute, row.backup_restore, row.total
+                row.app,
+                row.config,
+                row.cache,
+                row.memory,
+                row.compute,
+                row.backup_restore,
+                row.total
             );
             rows.push(row);
         }
     }
-    let m: f64 = rows.iter().filter(|r| r.config == "ipex-both").map(|r| r.total).sum::<f64>() / 20.0;
+    let m: f64 = rows
+        .iter()
+        .filter(|r| r.config == "ipex-both")
+        .map(|r| r.total)
+        .sum::<f64>()
+        / 20.0;
     println!("ipex-both mean normalised energy: {m:.4}  (paper: 0.9214)");
     write_results("fig14_energy_breakdown", &rows);
 }

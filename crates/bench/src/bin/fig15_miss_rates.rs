@@ -40,8 +40,20 @@ fn main() {
         );
         rows.push(row);
     }
-    let di: f64 = rows.iter().map(|r| r.icache_miss_ipex - r.icache_miss).sum::<f64>() / rows.len() as f64;
-    let dd: f64 = rows.iter().map(|r| r.dcache_miss_ipex - r.dcache_miss).sum::<f64>() / rows.len() as f64;
-    println!("mean miss-rate increase under IPEX: I {} D {}  (paper: +0.08% / +0.02%)", pct(di), pct(dd));
+    let di: f64 = rows
+        .iter()
+        .map(|r| r.icache_miss_ipex - r.icache_miss)
+        .sum::<f64>()
+        / rows.len() as f64;
+    let dd: f64 = rows
+        .iter()
+        .map(|r| r.dcache_miss_ipex - r.dcache_miss)
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!(
+        "mean miss-rate increase under IPEX: I {} D {}  (paper: +0.08% / +0.02%)",
+        pct(di),
+        pct(dd)
+    );
     write_results("fig15_miss_rates", &rows);
 }

@@ -19,5 +19,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig16_threshold_count", "voltage-threshold count (paper: 2 is best)", &trace, points);
+    run_sweep(
+        "fig16_threshold_count",
+        "voltage-threshold count (paper: 2 is best)",
+        &trace,
+        points,
+    );
 }

@@ -15,5 +15,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig17_prefetch_buffer", "prefetch-buffer size (paper default: 64 B)", &trace, points);
+    run_sweep(
+        "fig17_prefetch_buffer",
+        "prefetch-buffer size (paper default: 64 B)",
+        &trace,
+        points,
+    );
 }

@@ -8,12 +8,21 @@ fn main() {
     let points = [256u32, 512, 1024, 2048, 4096, 8192]
         .into_iter()
         .map(|s| {
-            let label = if s < 1024 { format!("{s} B") } else { format!("{} kB", s / 1024) };
+            let label = if s < 1024 {
+                format!("{s} B")
+            } else {
+                format!("{} kB", s / 1024)
+            };
             let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
                 *c = c.clone().with_cache_size(s);
             });
             (label, f)
         })
         .collect();
-    run_sweep("fig18_cache_size", "cache size (paper: gains shrink as caches grow)", &trace, points);
+    run_sweep(
+        "fig18_cache_size",
+        "cache size (paper: gains shrink as caches grow)",
+        &trace,
+        points,
+    );
 }

@@ -16,5 +16,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig19_associativity", "cache associativity (paper: 4.89%-8.96% across)", &trace, points);
+    run_sweep(
+        "fig19_associativity",
+        "cache associativity (paper: 4.89%-8.96% across)",
+        &trace,
+        points,
+    );
 }

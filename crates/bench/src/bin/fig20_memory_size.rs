@@ -17,5 +17,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig20_memory_size", "main-memory size (paper: gain grows with size)", &trace, points);
+    run_sweep(
+        "fig20_memory_size",
+        "main-memory size (paper: gain grows with size)",
+        &trace,
+        points,
+    );
 }

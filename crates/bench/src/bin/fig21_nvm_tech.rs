@@ -16,5 +16,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig21_nvm_tech", "NVM technology (paper: slower NVM => bigger gain)", &trace, points);
+    run_sweep(
+        "fig21_nvm_tech",
+        "NVM technology (paper: slower NVM => bigger gain)",
+        &trace,
+        points,
+    );
 }

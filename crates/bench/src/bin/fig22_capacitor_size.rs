@@ -17,5 +17,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig22_capacitor_size", "capacitor size (paper: gain shrinks as C grows)", &trace, points);
+    run_sweep(
+        "fig22_capacitor_size",
+        "capacitor size (paper: gain shrinks as C grows)",
+        &trace,
+        points,
+    );
 }

@@ -5,7 +5,10 @@ use ehs_energy::TraceKind;
 use ehs_sim::SimConfig;
 
 fn main() {
-    banner("fig23_power_traces", "power traces (paper: small gap, RF slightly ahead)");
+    banner(
+        "fig23_power_traces",
+        "power traces (paper: small gap, RF slightly ahead)",
+    );
     let mut rows = Vec::new();
     for kind in TraceKind::ALL {
         let trace = kind.synthesize(42, 400_000);
@@ -13,7 +16,10 @@ fn main() {
         let i = run_suite(&SimConfig::ipex_both(), &trace);
         let (_, g) = speedups(&b, &i);
         println!("{:>10}  IPEX speedup over baseline: {g:.4}", kind.name());
-        rows.push(SweepRow { label: kind.name().to_owned(), ipex_speedup: g });
+        rows.push(SweepRow {
+            label: kind.name().to_owned(),
+            ipex_speedup: g,
+        });
     }
     write_results("fig23_power_traces", &rows);
 }

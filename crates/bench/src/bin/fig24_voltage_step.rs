@@ -11,7 +11,10 @@ fn main() {
         .map(|step| {
             let label = format!("{step:.2} V");
             let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                let ic = IpexConfig { voltage_step_v: step, ..IpexConfig::paper_default() };
+                let ic = IpexConfig {
+                    voltage_step_v: step,
+                    ..IpexConfig::paper_default()
+                };
                 if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
                     c.inst_mode = PrefetchMode::Ipex(ic);
                     c.data_mode = PrefetchMode::Ipex(ic);
@@ -20,5 +23,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig24_voltage_step", "voltage step size (paper: 0.05 V is best)", &trace, points);
+    run_sweep(
+        "fig24_voltage_step",
+        "voltage step size (paper: 0.05 V is best)",
+        &trace,
+        points,
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
         .map(|rate| {
             let label = format!("{:.0}%", rate * 100.0);
             let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                let ic = IpexConfig { throttle_rate_threshold: rate, ..IpexConfig::paper_default() };
+                let ic = IpexConfig {
+                    throttle_rate_threshold: rate,
+                    ..IpexConfig::paper_default()
+                };
                 if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
                     c.inst_mode = PrefetchMode::Ipex(ic);
                     c.data_mode = PrefetchMode::Ipex(ic);
@@ -21,5 +24,10 @@ fn main() {
             (label, f)
         })
         .collect();
-    run_sweep("fig25_throttle_rate", "throttle-rate threshold (paper: 5% is best)", &trace, points);
+    run_sweep(
+        "fig25_throttle_rate",
+        "throttle-rate threshold (paper: 5% is best)",
+        &trace,
+        points,
+    );
 }

@@ -14,7 +14,10 @@ struct Row {
     cov_data: f64,
 }
 
-fn aggregate(results: &std::collections::BTreeMap<&'static str, ehs_sim::SimResult>, config: &'static str) -> Row {
+fn aggregate(
+    results: &std::collections::BTreeMap<&'static str, ehs_sim::SimResult>,
+    config: &'static str,
+) -> Row {
     // Aggregate over the pooled counts (not a mean of ratios), matching
     // how suite-level accuracy/coverage is usually reported.
     let (mut iu, mut iw, mut du, mut dw, mut im, mut dm) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
@@ -40,7 +43,10 @@ fn main() {
     let trace = SimConfig::default_trace();
     let base = aggregate(&run_suite(&SimConfig::baseline(), &trace), "NVSRAMCache");
     let ipex = aggregate(&run_suite(&SimConfig::ipex_both(), &trace), "IPEX");
-    println!("{:12} {:>9} {:>9} {:>9} {:>9}", "config", "acc(I)", "acc(D)", "cov(I)", "cov(D)");
+    println!(
+        "{:12} {:>9} {:>9} {:>9} {:>9}",
+        "config", "acc(I)", "acc(D)", "cov(I)", "cov(D)"
+    );
     for r in [&base, &ipex] {
         println!(
             "{:12} {:>9} {:>9} {:>9} {:>9}",

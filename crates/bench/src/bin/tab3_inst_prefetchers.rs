@@ -25,7 +25,10 @@ fn main() {
         let i = run_suite(&ipex, &trace);
         let (_, g) = speedups(&b, &i);
         println!("{:12} IPEX speedup {:.4}", kind.name(), g);
-        rows.push(Row { prefetcher: kind.name(), ipex_speedup: g });
+        rows.push(Row {
+            prefetcher: kind.name(),
+            ipex_speedup: g,
+        });
     }
     println!("(paper: Sequential 8.96% / Markov 7.89% / TIFS 9.05%)");
     write_results("tab3_inst_prefetchers", &rows);

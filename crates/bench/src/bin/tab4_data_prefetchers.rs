@@ -25,7 +25,10 @@ fn main() {
         let i = run_suite(&ipex, &trace);
         let (_, g) = speedups(&b, &i);
         println!("{:12} IPEX speedup {:.4}", kind.name(), g);
-        rows.push(Row { prefetcher: kind.name(), ipex_speedup: g });
+        rows.push(Row {
+            prefetcher: kind.name(),
+            ipex_speedup: g,
+        });
     }
     println!("(paper: Stride 8.96% / GHB 8.83% / BO 8.76%)");
     write_results("tab4_data_prefetchers", &rows);

@@ -11,6 +11,8 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ehs_energy::PowerTrace;
 use ehs_sim::{Machine, SimConfig, SimResult};
@@ -26,9 +28,13 @@ use serde::Serialize;
 pub fn run_one(workload: &Workload, cfg: &SimConfig, trace: &PowerTrace) -> SimResult {
     let program = workload.program();
     let mut machine = Machine::with_trace(cfg.clone(), &program, trace.clone());
-    machine
-        .run()
-        .unwrap_or_else(|e| panic!("workload `{}` failed under {:?}: {e}", workload.name(), cfg.inst_mode))
+    machine.run().unwrap_or_else(|e| {
+        panic!(
+            "workload `{}` failed under {:?}: {e}",
+            workload.name(),
+            cfg.inst_mode
+        )
+    })
 }
 
 /// Runs the full 20-workload suite under `cfg`, in parallel, returning
@@ -38,26 +44,54 @@ pub fn run_suite(cfg: &SimConfig, trace: &PowerTrace) -> BTreeMap<&'static str, 
 }
 
 /// Runs the workloads accepted by `filter` under `cfg`, in parallel.
+///
+/// The worker count is bounded at [`std::thread::available_parallelism`]
+/// (capped by the number of selected workloads); workers pull from a
+/// shared queue, so a sweep never oversubscribes the host with one
+/// thread per workload.
 pub fn run_suite_filtered(
     cfg: &SimConfig,
     trace: &PowerTrace,
     filter: impl Fn(&Workload) -> bool,
 ) -> BTreeMap<&'static str, SimResult> {
+    let selected: Vec<&Workload> = ehs_workloads::SUITE.iter().filter(|w| filter(w)).collect();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(selected.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SimResult>>> =
+        selected.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = ehs_workloads::SUITE
-            .iter()
-            .filter(|w| filter(w))
-            .map(|w| {
-                let cfg = cfg.clone();
-                let trace = trace.clone();
-                (w.name(), scope.spawn(move || run_one(w, &cfg, &trace)))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, selected, results) = (&next, &selected, &results);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(w) = selected.get(i).copied() else {
+                        break;
+                    };
+                    let r = run_one(w, cfg, trace);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|(name, h)| (name, h.join().expect("worker panicked")))
-            .collect()
-    })
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    selected
+        .iter()
+        .zip(results)
+        .map(|(w, slot)| {
+            let r = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot");
+            (w.name(), r)
+        })
+        .collect()
 }
 
 /// Geometric mean of a sequence of positive values.
@@ -67,7 +101,10 @@ pub fn run_suite_filtered(
 /// Panics if `values` is empty or contains a non-positive value.
 pub fn gmean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "gmean of an empty set");
-    assert!(values.iter().all(|v| *v > 0.0), "gmean requires positive values");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "gmean requires positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }
@@ -129,7 +166,12 @@ pub type SweepPoint = (String, Box<dyn Fn(&mut SimConfig)>);
 /// Runs a whole sensitivity sweep: for each `(label, mutator)` point,
 /// computes the IPEX gmean speedup, prints the row, writes
 /// `results/<id>.json`, and returns the rows.
-pub fn run_sweep(id: &str, what: &str, trace: &PowerTrace, points: Vec<SweepPoint>) -> Vec<SweepRow> {
+pub fn run_sweep(
+    id: &str,
+    what: &str,
+    trace: &PowerTrace,
+    points: Vec<SweepPoint>,
+) -> Vec<SweepRow> {
     banner(id, what);
     let mut rows = Vec::new();
     for (label, m) in points {

@@ -70,7 +70,10 @@ impl IpexConfig {
 
     pub(crate) fn validate(&self) {
         assert!(self.threshold_count >= 1, "need at least one threshold");
-        assert!(self.initial_degree >= 1, "initial degree must be at least 1");
+        assert!(
+            self.initial_degree >= 1,
+            "initial degree must be at least 1"
+        );
         assert!(
             self.initial_degree <= self.max_degree,
             "initial degree exceeds the hardware maximum"
@@ -87,7 +90,8 @@ impl IpexConfig {
             "threshold bounds are inverted"
         );
         assert!(
-            self.top_threshold_v >= self.min_top_threshold_v && self.top_threshold_v <= self.max_top_threshold_v,
+            self.top_threshold_v >= self.min_top_threshold_v
+                && self.top_threshold_v <= self.max_top_threshold_v,
             "initial top threshold outside its adaptation bounds"
         );
     }

@@ -294,6 +294,16 @@ impl Throttle {
             Throttle::Ipex(c) => Some(c.stats()),
         }
     }
+
+    /// Current effective prefetch degree (`Rcpd`), if IPEX. Passthrough
+    /// has no degree cap. Lets an observer (e.g. the simulator's tracer)
+    /// detect threshold crossings around [`Throttle::observe_voltage`].
+    pub fn current_degree(&self) -> Option<u32> {
+        match self {
+            Throttle::Passthrough => None,
+            Throttle::Ipex(c) => Some(c.current_degree()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -481,7 +491,10 @@ mod tests {
         c.filter(&mut cand);
         c.on_power_failure();
         c.on_reboot();
-        assert!(c.observe_voltage(3.5).is_none(), "queue did not survive the outage");
+        assert!(
+            c.observe_voltage(3.5).is_none(),
+            "queue did not survive the outage"
+        );
     }
 
     #[test]

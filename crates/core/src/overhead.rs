@@ -75,7 +75,11 @@ mod tests {
         assert_eq!(r.bits_per_cache, 99);
         assert_eq!(r.total_bits, 198);
         // Paper: ~0.0018 % of core area.
-        assert!((r.core_area_percent - 0.0018).abs() < 0.0002, "{}", r.core_area_percent);
+        assert!(
+            (r.core_area_percent - 0.0018).abs() < 0.0002,
+            "{}",
+            r.core_area_percent
+        );
     }
 
     #[test]

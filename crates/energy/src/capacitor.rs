@@ -106,7 +106,10 @@ impl Capacitor {
     /// Panics if the configuration is invalid or `voltage` exceeds `v_max`.
     pub fn at_voltage(cfg: CapacitorConfig, voltage: f64) -> Capacitor {
         cfg.validate();
-        assert!(voltage >= 0.0 && voltage <= cfg.v_max, "voltage out of range");
+        assert!(
+            voltage >= 0.0 && voltage <= cfg.v_max,
+            "voltage out of range"
+        );
         Capacitor {
             cfg,
             energy_nj: cfg.energy_at_nj(voltage),

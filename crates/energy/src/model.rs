@@ -112,8 +112,14 @@ impl EnergyModel {
 /// assert!((p - 0.5).abs() < 1e-12);
 /// ```
 pub fn min_useful_probability(e_prefetch: f64, e_leak: f64) -> f64 {
-    assert!(e_prefetch >= 0.0 && e_leak >= 0.0, "energies must be non-negative");
-    assert!(e_prefetch + e_leak > 0.0, "at least one energy must be positive");
+    assert!(
+        e_prefetch >= 0.0 && e_leak >= 0.0,
+        "energies must be non-negative"
+    );
+    assert!(
+        e_prefetch + e_leak > 0.0,
+        "at least one energy must be positive"
+    );
     e_prefetch / (e_prefetch + e_leak)
 }
 

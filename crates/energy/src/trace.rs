@@ -143,8 +143,14 @@ impl PowerTrace {
     ///
     /// Panics if `power_mw` is empty or contains a negative sample.
     pub fn from_samples_mw(power_mw: Vec<f64>) -> PowerTrace {
-        assert!(!power_mw.is_empty(), "trace must contain at least one sample");
-        assert!(power_mw.iter().all(|p| *p >= 0.0), "power samples must be non-negative");
+        assert!(
+            !power_mw.is_empty(),
+            "trace must contain at least one sample"
+        );
+        assert!(
+            power_mw.iter().all(|p| *p >= 0.0),
+            "power samples must be non-negative"
+        );
         PowerTrace { power_mw }
     }
 
@@ -212,9 +218,14 @@ impl PowerTrace {
             if line.is_empty() {
                 continue;
             }
-            let v: f64 = line.parse().map_err(|_| format!("line {}: bad sample `{line}`", i + 1))?;
+            let v: f64 = line
+                .parse()
+                .map_err(|_| format!("line {}: bad sample `{line}`", i + 1))?;
             if v < 0.0 || !v.is_finite() {
-                return Err(format!("line {}: power must be finite and non-negative", i + 1));
+                return Err(format!(
+                    "line {}: power must be finite and non-negative",
+                    i + 1
+                ));
             }
             power_mw.push(v);
         }

@@ -83,10 +83,18 @@ enum Stmt {
     Word(Vec<Value>),
     Half(Vec<i64>),
     Byte(Vec<i64>),
-    Space { size: u32, fill: u8 },
+    Space {
+        size: u32,
+        fill: u8,
+    },
     Align(u32),
-    Ascii { bytes: Vec<u8> },
-    Instr { mnemonic: String, operands: Vec<String> },
+    Ascii {
+        bytes: Vec<u8>,
+    },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
 }
 
 /// A literal or `label±offset` reference resolved during emission.
@@ -133,15 +141,22 @@ fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
         } else {
             Some(parse_stmt(number, text)?)
         };
-        out.push(Line { number, labels, stmt });
+        out.push(Line {
+            number,
+            labels,
+            stmt,
+        });
     }
     Ok(out)
 }
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn parse_stmt(line: usize, text: &str) -> Result<Stmt, AsmError> {
@@ -172,7 +187,11 @@ fn parse_stmt(line: usize, text: &str) -> Result<Stmt, AsmError> {
                 return Err(AsmError::new(line, ".space takes 1 or 2 operands"));
             }
             let size = parse_int(line, &parts[0])? as u32;
-            let fill = if parts.len() == 2 { parse_int(line, &parts[1])? as u8 } else { 0 };
+            let fill = if parts.len() == 2 {
+                parse_int(line, &parts[1])? as u8
+            } else {
+                0
+            };
             Ok(Stmt::Space { size, fill })
         }
         ".align" => {
@@ -193,7 +212,9 @@ fn parse_stmt(line: usize, text: &str) -> Result<Stmt, AsmError> {
             }
             Ok(Stmt::Ascii { bytes })
         }
-        _ if head_lc.starts_with('.') => Err(AsmError::new(line, format!("unknown directive `{head}`"))),
+        _ if head_lc.starts_with('.') => {
+            Err(AsmError::new(line, format!("unknown directive `{head}`")))
+        }
         _ => Ok(Stmt::Instr {
             mnemonic: head_lc,
             operands: split_operands(rest),
@@ -217,7 +238,10 @@ fn unescape(line: usize, s: &str) -> Result<Vec<u8>, AsmError> {
             Some('\\') => out.push(b'\\'),
             Some('"') => out.push(b'"'),
             other => {
-                return Err(AsmError::new(line, format!("bad escape `\\{}`", other.unwrap_or(' '))));
+                return Err(AsmError::new(
+                    line,
+                    format!("bad escape `\\{}`", other.unwrap_or(' ')),
+                ));
             }
         }
     }
@@ -232,7 +256,10 @@ fn split_operands(rest: &str) -> Vec<String> {
 }
 
 fn parse_int_list(line: usize, rest: &str) -> Result<Vec<i64>, AsmError> {
-    split_operands(rest).iter().map(|s| parse_int(line, s)).collect()
+    split_operands(rest)
+        .iter()
+        .map(|s| parse_int(line, s))
+        .collect()
 }
 
 fn parse_int(line: usize, s: &str) -> Result<i64, AsmError> {
@@ -242,11 +269,13 @@ fn parse_int(line: usize, s: &str) -> Result<i64, AsmError> {
         None => (false, s),
     };
     let v: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16).map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
+        i64::from_str_radix(hex, 16)
+            .map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
     } else if body.len() == 3 && body.starts_with('\'') && body.ends_with('\'') {
         body.as_bytes()[1] as i64
     } else {
-        body.parse().map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
+        body.parse()
+            .map_err(|_| AsmError::new(line, format!("bad integer `{s}`")))?
     };
     Ok(if neg { -v } else { v })
 }
@@ -269,13 +298,19 @@ fn parse_value(line: usize, s: &str) -> Result<Value, AsmError> {
             }
             let off = parse_int(line, &s[i..].replace('+', ""))?;
             let off = if c == '-' && off > 0 { -off } else { off };
-            return Ok(Value::Symbol { name: name.to_owned(), offset: off });
+            return Ok(Value::Symbol {
+                name: name.to_owned(),
+                offset: off,
+            });
         }
     }
     if !is_ident(s) {
         return Err(AsmError::new(line, format!("bad operand `{s}`")));
     }
-    Ok(Value::Symbol { name: s.to_owned(), offset: 0 })
+    Ok(Value::Symbol {
+        name: s.to_owned(),
+        offset: 0,
+    })
 }
 
 /// Number of real instructions a mnemonic expands to (pass 1).
@@ -310,7 +345,10 @@ fn layout(lines: &[Line]) -> Result<BTreeMap<String, u32>, AsmError> {
         };
         for label in &line.labels {
             if symbols.insert(label.clone(), here).is_some() {
-                return Err(AsmError::new(line.number, format!("duplicate label `{label}`")));
+                return Err(AsmError::new(
+                    line.number,
+                    format!("duplicate label `{label}`"),
+                ));
             }
         }
         let Some(stmt) = &line.stmt else { continue };
@@ -330,7 +368,9 @@ fn layout(lines: &[Line]) -> Result<BTreeMap<String, u32>, AsmError> {
             Stmt::Half(v) => advance_data(line, section, &mut data_pc, 2 * v.len() as u32, 2)?,
             Stmt::Byte(v) => advance_data(line, section, &mut data_pc, v.len() as u32, 1)?,
             Stmt::Space { size, .. } => advance_data(line, section, &mut data_pc, *size, 1)?,
-            Stmt::Ascii { bytes } => advance_data(line, section, &mut data_pc, bytes.len() as u32, 1)?,
+            Stmt::Ascii { bytes } => {
+                advance_data(line, section, &mut data_pc, bytes.len() as u32, 1)?
+            }
             Stmt::Align(n) => {
                 if section == Section::Text {
                     return Err(AsmError::new(line.number, ".align is only valid in .data"));
@@ -352,7 +392,13 @@ fn layout(lines: &[Line]) -> Result<BTreeMap<String, u32>, AsmError> {
     Ok(symbols)
 }
 
-fn advance_data(line: &Line, section: Section, data_pc: &mut u32, size: u32, align: u32) -> Result<(), AsmError> {
+fn advance_data(
+    line: &Line,
+    section: Section,
+    data_pc: &mut u32,
+    size: u32,
+    align: u32,
+) -> Result<(), AsmError> {
     if section != Section::Data {
         return Err(AsmError::new(line.number, "data directive outside .data"));
     }
@@ -390,7 +436,10 @@ impl Emitter {
                 for seg in &self.data {
                     let new_end = self.data_pc + bytes.len() as u32;
                     if self.data_pc < seg.end() && seg.base < new_end {
-                        return Err(AsmError::new(line, format!("data at {:#x} overlaps earlier segment", self.data_pc)));
+                        return Err(AsmError::new(
+                            line,
+                            format!("data at {:#x} overlaps earlier segment", self.data_pc),
+                        ));
                     }
                 }
                 self.data.push(Segment {
@@ -418,14 +467,17 @@ impl Emitter {
     }
 
     fn reg(&self, line: usize, s: &str) -> Result<Reg, AsmError> {
-        s.parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
+        s.parse::<Reg>()
+            .map_err(|e| AsmError::new(line, e.to_string()))
     }
 
     /// Parses `off(base)` or `(base)` or `label` / `label+off` memory operands.
     fn mem_operand(&self, line: usize, s: &str) -> Result<(Reg, i32), AsmError> {
         let s = s.trim();
         if let Some(open) = s.find('(') {
-            let close = s.rfind(')').ok_or_else(|| AsmError::new(line, "missing `)`"))?;
+            let close = s
+                .rfind(')')
+                .ok_or_else(|| AsmError::new(line, "missing `)`"))?;
             let base = self.reg(line, s[open + 1..close].trim())?;
             let off_str = s[..open].trim();
             let off = if off_str.is_empty() {
@@ -436,7 +488,10 @@ impl Emitter {
             let off = check_imm18(line, off)?;
             Ok((base, off))
         } else {
-            Err(AsmError::new(line, format!("expected `offset(base)` operand, got `{s}`")))
+            Err(AsmError::new(
+                line,
+                format!("expected `offset(base)` operand, got `{s}`"),
+            ))
         }
     }
 
@@ -459,7 +514,10 @@ impl Emitter {
         };
         let (lo, hi) = imm22_range();
         if offset < lo as i64 || offset > hi as i64 {
-            return Err(AsmError::new(line, format!("jump offset {offset} does not fit 22 bits")));
+            return Err(AsmError::new(
+                line,
+                format!("jump offset {offset} does not fit 22 bits"),
+            ));
         }
         Ok(offset as i32)
     }
@@ -469,7 +527,11 @@ impl Emitter {
         let v = value as u32;
         let (lo, hi) = imm18_range();
         if value >= lo as i64 && value <= hi as i64 {
-            self.push(Instr::Addi { rd, rs1: Reg::Zero, imm: value as i32 });
+            self.push(Instr::Addi {
+                rd,
+                rs1: Reg::Zero,
+                imm: value as i32,
+            });
         } else {
             self.emit_lui_ori(rd, v);
         }
@@ -480,14 +542,21 @@ impl Emitter {
         let upper = (v >> 14) as i32; // 18 bits, fits the 22-bit field
         let lower = (v & 0x3fff) as i32; // 14 bits, positive, fits imm18
         self.push(Instr::Lui { rd, imm: upper });
-        self.push(Instr::Ori { rd, rs1: rd, imm: lower });
+        self.push(Instr::Ori {
+            rd,
+            rs1: rd,
+            imm: lower,
+        });
     }
 }
 
 fn check_imm18(line: usize, v: i64) -> Result<i32, AsmError> {
     let (lo, hi) = imm18_range();
     if v < lo as i64 || v > hi as i64 {
-        return Err(AsmError::new(line, format!("immediate {v} does not fit 18 bits")));
+        return Err(AsmError::new(
+            line,
+            format!("immediate {v} does not fit 18 bits"),
+        ));
     }
     Ok(v as i32)
 }
@@ -539,7 +608,10 @@ fn emit(lines: &[Line], symbols: BTreeMap<String, u32>) -> Result<Program, AsmEr
     e.data.sort_by_key(|s| s.base);
     for pair in e.data.windows(2) {
         if pair[0].end() > pair[1].base {
-            return Err(AsmError::new(0, format!("data segments overlap at {:#x}", pair[1].base)));
+            return Err(AsmError::new(
+                0,
+                format!("data segments overlap at {:#x}", pair[1].base),
+            ));
         }
     }
     let entry = e.symbols.get("main").copied().unwrap_or(TEXT_BASE);
@@ -554,7 +626,10 @@ fn emit(lines: &[Line], symbols: BTreeMap<String, u32>) -> Result<Program, AsmEr
 fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Result<(), AsmError> {
     let want = |count: usize| -> Result<(), AsmError> {
         if ops.len() != count {
-            Err(AsmError::new(n, format!("`{mnemonic}` expects {count} operands, got {}", ops.len())))
+            Err(AsmError::new(
+                n,
+                format!("`{mnemonic}` expects {count} operands, got {}", ops.len()),
+            ))
         } else {
             Ok(())
         }
@@ -591,7 +666,13 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
             want(2)?;
             let rd = e.reg(n, &ops[0])?;
             let (base, offset) = e.mem_operand(n, &ops[1])?;
-            e.push(Instr::Load { rd, base, offset, width: $width, signed: $signed });
+            e.push(Instr::Load {
+                rd,
+                base,
+                offset,
+                width: $width,
+                signed: $signed,
+            });
         }};
     }
 
@@ -631,9 +712,15 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
             let imm = e.resolve(n, &parse_value(n, &ops[1])?)?;
             let (lo, hi) = imm22_range();
             if imm < lo as i64 || imm > hi as i64 {
-                return Err(AsmError::new(n, format!("lui immediate {imm} does not fit 22 bits")));
+                return Err(AsmError::new(
+                    n,
+                    format!("lui immediate {imm} does not fit 22 bits"),
+                ));
             }
-            e.push(Instr::Lui { rd, imm: imm as i32 });
+            e.push(Instr::Lui {
+                rd,
+                imm: imm as i32,
+            });
         }
         "lw" => load!(MemWidth::Word, false),
         "lh" => load!(MemWidth::Half, true),
@@ -649,7 +736,12 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
                 "sh" => MemWidth::Half,
                 _ => MemWidth::Byte,
             };
-            e.push(Instr::Store { src, base, offset, width });
+            e.push(Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            });
         }
         "beq" => {
             want(3)?;
@@ -710,7 +802,10 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
         "jal" => match ops.len() {
             1 => {
                 let offset = e.jump_target(n, &ops[0])?;
-                e.push(Instr::Jal { rd: Reg::Ra, offset });
+                e.push(Instr::Jal {
+                    rd: Reg::Ra,
+                    offset,
+                });
             }
             2 => {
                 let rd = e.reg(n, &ops[0])?;
@@ -722,7 +817,11 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
         "jalr" => match ops.len() {
             1 => {
                 let base = e.reg(n, &ops[0])?;
-                e.push(Instr::Jalr { rd: Reg::Ra, base, offset: 0 });
+                e.push(Instr::Jalr {
+                    rd: Reg::Ra,
+                    base,
+                    offset: 0,
+                });
             }
             2 => {
                 let rd = e.reg(n, &ops[0])?;
@@ -734,28 +833,45 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
         "j" => {
             want(1)?;
             let offset = e.jump_target(n, &ops[0])?;
-            e.push(Instr::Jal { rd: Reg::Zero, offset });
+            e.push(Instr::Jal {
+                rd: Reg::Zero,
+                offset,
+            });
         }
         "jr" => {
             want(1)?;
             let base = e.reg(n, &ops[0])?;
-            e.push(Instr::Jalr { rd: Reg::Zero, base, offset: 0 });
+            e.push(Instr::Jalr {
+                rd: Reg::Zero,
+                base,
+                offset: 0,
+            });
         }
         "ret" => {
             want(0)?;
-            e.push(Instr::Jalr { rd: Reg::Zero, base: Reg::Ra, offset: 0 });
+            e.push(Instr::Jalr {
+                rd: Reg::Zero,
+                base: Reg::Ra,
+                offset: 0,
+            });
         }
         "call" => {
             want(1)?;
             let offset = e.jump_target(n, &ops[0])?;
-            e.push(Instr::Jal { rd: Reg::Ra, offset });
+            e.push(Instr::Jal {
+                rd: Reg::Ra,
+                offset,
+            });
         }
         "li" => {
             want(2)?;
             let rd = e.reg(n, &ops[0])?;
             let value = parse_int(n, &ops[1])?;
             if value < i32::MIN as i64 || value > u32::MAX as i64 {
-                return Err(AsmError::new(n, format!("li value {value} does not fit 32 bits")));
+                return Err(AsmError::new(
+                    n,
+                    format!("li value {value} does not fit 32 bits"),
+                ));
             }
             e.emit_li(rd, value);
         }
@@ -775,7 +891,11 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
             want(2)?;
             let rd = e.reg(n, &ops[0])?;
             let rs2 = e.reg(n, &ops[1])?;
-            e.push(Instr::Sub { rd, rs1: Reg::Zero, rs2 });
+            e.push(Instr::Sub {
+                rd,
+                rs1: Reg::Zero,
+                rs2,
+            });
         }
         "not" => {
             want(2)?;
@@ -787,7 +907,11 @@ fn emit_instr(e: &mut Emitter, n: usize, mnemonic: &str, ops: &[String]) -> Resu
             want(2)?;
             let rd = e.reg(n, &ops[0])?;
             let rs2 = e.reg(n, &ops[1])?;
-            e.push(Instr::Sltu { rd, rs1: Reg::Zero, rs2 });
+            e.push(Instr::Sltu {
+                rd,
+                rs1: Reg::Zero,
+                rs2,
+            });
         }
         "nop" => {
             want(0)?;

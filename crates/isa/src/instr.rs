@@ -240,16 +240,28 @@ fn field_reg(word: u32, lo: u32) -> Reg {
 }
 
 fn enc_r(opcode: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
-    (opcode << 26) | ((rd.index() as u32) << 22) | ((rs1.index() as u32) << 18) | ((rs2.index() as u32) << 14)
+    (opcode << 26)
+        | ((rd.index() as u32) << 22)
+        | ((rs1.index() as u32) << 18)
+        | ((rs2.index() as u32) << 14)
 }
 
 fn enc_i(opcode: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
-    debug_assert!((IMM18_MIN..=IMM18_MAX).contains(&imm), "imm18 out of range: {imm}");
-    (opcode << 26) | ((rd.index() as u32) << 22) | ((rs1.index() as u32) << 18) | ((imm as u32) & 0x3ffff)
+    debug_assert!(
+        (IMM18_MIN..=IMM18_MAX).contains(&imm),
+        "imm18 out of range: {imm}"
+    );
+    (opcode << 26)
+        | ((rd.index() as u32) << 22)
+        | ((rs1.index() as u32) << 18)
+        | ((imm as u32) & 0x3ffff)
 }
 
 fn enc_j(opcode: u32, rd: Reg, imm: i32) -> u32 {
-    debug_assert!((IMM22_MIN..=IMM22_MAX).contains(&imm), "imm22 out of range: {imm}");
+    debug_assert!(
+        (IMM22_MIN..=IMM22_MAX).contains(&imm),
+        "imm22 out of range: {imm}"
+    );
     (opcode << 26) | ((rd.index() as u32) << 22) | ((imm as u32) & 0x3f_ffff)
 }
 
@@ -292,7 +304,13 @@ impl Instr {
             Srli { rd, rs1, imm } => enc_i(op::SRLI, rd, rs1, imm),
             Srai { rd, rs1, imm } => enc_i(op::SRAI, rd, rs1, imm),
             Lui { rd, imm } => enc_j(op::LUI, rd, imm),
-            Load { rd, base, offset, width, signed } => {
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
                 let opcode = match (width, signed) {
                     (MemWidth::Word, _) => op::LW,
                     (MemWidth::Half, true) => op::LH,
@@ -302,7 +320,12 @@ impl Instr {
                 };
                 enc_i(opcode, rd, base, offset)
             }
-            Store { src, base, offset, width } => {
+            Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let opcode = match width {
                     MemWidth::Word => op::SW,
                     MemWidth::Half => op::SH,
@@ -350,31 +373,136 @@ impl Instr {
             op::MUL => Mul { rd, rs1, rs2 },
             op::DIV => Div { rd, rs1, rs2 },
             op::REM => Rem { rd, rs1, rs2 },
-            op::ADDI => Addi { rd, rs1, imm: imm18 },
-            op::ANDI => Andi { rd, rs1, imm: imm18 },
-            op::ORI => Ori { rd, rs1, imm: imm18 },
-            op::XORI => Xori { rd, rs1, imm: imm18 },
-            op::SLTI => Slti { rd, rs1, imm: imm18 },
-            op::SLLI => Slli { rd, rs1, imm: imm18 },
-            op::SRLI => Srli { rd, rs1, imm: imm18 },
-            op::SRAI => Srai { rd, rs1, imm: imm18 },
+            op::ADDI => Addi {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::ANDI => Andi {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::ORI => Ori {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::XORI => Xori {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::SLTI => Slti {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::SLLI => Slli {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::SRLI => Srli {
+                rd,
+                rs1,
+                imm: imm18,
+            },
+            op::SRAI => Srai {
+                rd,
+                rs1,
+                imm: imm18,
+            },
             op::LUI => Lui { rd, imm: imm22 },
-            op::LW => Load { rd, base: rs1, offset: imm18, width: MemWidth::Word, signed: false },
-            op::LH => Load { rd, base: rs1, offset: imm18, width: MemWidth::Half, signed: true },
-            op::LHU => Load { rd, base: rs1, offset: imm18, width: MemWidth::Half, signed: false },
-            op::LB => Load { rd, base: rs1, offset: imm18, width: MemWidth::Byte, signed: true },
-            op::LBU => Load { rd, base: rs1, offset: imm18, width: MemWidth::Byte, signed: false },
-            op::SW => Store { src: rd, base: rs1, offset: imm18, width: MemWidth::Word },
-            op::SH => Store { src: rd, base: rs1, offset: imm18, width: MemWidth::Half },
-            op::SB => Store { src: rd, base: rs1, offset: imm18, width: MemWidth::Byte },
-            op::BEQ => Beq { rs1: rd, rs2: rs1, offset: imm18 },
-            op::BNE => Bne { rs1: rd, rs2: rs1, offset: imm18 },
-            op::BLT => Blt { rs1: rd, rs2: rs1, offset: imm18 },
-            op::BGE => Bge { rs1: rd, rs2: rs1, offset: imm18 },
-            op::BLTU => Bltu { rs1: rd, rs2: rs1, offset: imm18 },
-            op::BGEU => Bgeu { rs1: rd, rs2: rs1, offset: imm18 },
+            op::LW => Load {
+                rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Word,
+                signed: false,
+            },
+            op::LH => Load {
+                rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Half,
+                signed: true,
+            },
+            op::LHU => Load {
+                rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Half,
+                signed: false,
+            },
+            op::LB => Load {
+                rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Byte,
+                signed: true,
+            },
+            op::LBU => Load {
+                rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Byte,
+                signed: false,
+            },
+            op::SW => Store {
+                src: rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Word,
+            },
+            op::SH => Store {
+                src: rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Half,
+            },
+            op::SB => Store {
+                src: rd,
+                base: rs1,
+                offset: imm18,
+                width: MemWidth::Byte,
+            },
+            op::BEQ => Beq {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
+            op::BNE => Bne {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
+            op::BLT => Blt {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
+            op::BGE => Bge {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
+            op::BLTU => Bltu {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
+            op::BGEU => Bgeu {
+                rs1: rd,
+                rs2: rs1,
+                offset: imm18,
+            },
             op::JAL => Jal { rd, offset: imm22 },
-            op::JALR => Jalr { rd, base: rs1, offset: imm18 },
+            op::JALR => Jalr {
+                rd,
+                base: rs1,
+                offset: imm18,
+            },
             _ => return Err(DecodeError { word }),
         };
         Ok(instr)
@@ -388,7 +516,9 @@ impl Instr {
             Div { .. } | Rem { .. } => ExecClass::Div,
             Load { .. } => ExecClass::Load,
             Store { .. } => ExecClass::Store,
-            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => ExecClass::Branch,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                ExecClass::Branch
+            }
             Jal { .. } | Jalr { .. } => ExecClass::Jump,
             Halt => ExecClass::Halt,
             _ => ExecClass::Alu,
@@ -437,7 +567,13 @@ impl fmt::Display for Instr {
             Srli { rd, rs1, imm } => write!(f, "srli {rd}, {rs1}, {imm}"),
             Srai { rd, rs1, imm } => write!(f, "srai {rd}, {rs1}, {imm}"),
             Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
-            Load { rd, base, offset, width, signed } => {
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
                 let mnem = match (width, signed) {
                     (MemWidth::Word, _) => "lw",
                     (MemWidth::Half, true) => "lh",
@@ -447,7 +583,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{mnem} {rd}, {offset}({base})")
             }
-            Store { src, base, offset, width } => {
+            Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let mnem = match width {
                     MemWidth::Word => "sw",
                     MemWidth::Half => "sh",
@@ -480,17 +621,29 @@ mod tests {
 
     #[test]
     fn encode_decode_r_type() {
-        let i = Instr::Add { rd: Reg::A0, rs1: Reg::T1, rs2: Reg::S3 };
+        let i = Instr::Add {
+            rd: Reg::A0,
+            rs1: Reg::T1,
+            rs2: Reg::S3,
+        };
         assert_eq!(Instr::decode(i.encode()), Ok(i));
     }
 
     #[test]
     fn encode_decode_negative_imm() {
-        let i = Instr::Addi { rd: Reg::T0, rs1: Reg::Sp, imm: -1234 };
+        let i = Instr::Addi {
+            rd: Reg::T0,
+            rs1: Reg::Sp,
+            imm: -1234,
+        };
         assert_eq!(Instr::decode(i.encode()), Ok(i));
         let (lo, hi) = imm18_range();
         for imm in [lo, hi, 0, -1, 1] {
-            let i = Instr::Addi { rd: Reg::T0, rs1: Reg::Sp, imm };
+            let i = Instr::Addi {
+                rd: Reg::T0,
+                rs1: Reg::Sp,
+                imm,
+            };
             assert_eq!(Instr::decode(i.encode()), Ok(i));
         }
     }
@@ -504,27 +657,55 @@ mod tests {
             (MemWidth::Byte, true),
             (MemWidth::Byte, false),
         ] {
-            let i = Instr::Load { rd: Reg::A1, base: Reg::S0, offset: -40, width, signed };
+            let i = Instr::Load {
+                rd: Reg::A1,
+                base: Reg::S0,
+                offset: -40,
+                width,
+                signed,
+            };
             // `lw` canonicalises `signed` to false on decode.
             let rt = Instr::decode(i.encode()).unwrap();
             match rt {
-                Instr::Load { rd, base, offset, width: w, .. } => {
+                Instr::Load {
+                    rd,
+                    base,
+                    offset,
+                    width: w,
+                    ..
+                } => {
                     assert_eq!((rd, base, offset, w), (Reg::A1, Reg::S0, -40, width));
                 }
                 other => panic!("expected load, got {other}"),
             }
         }
-        let s = Instr::Store { src: Reg::A2, base: Reg::Sp, offset: 8, width: MemWidth::Half };
+        let s = Instr::Store {
+            src: Reg::A2,
+            base: Reg::Sp,
+            offset: 8,
+            width: MemWidth::Half,
+        };
         assert_eq!(Instr::decode(s.encode()), Ok(s));
     }
 
     #[test]
     fn encode_decode_branches_and_jumps() {
-        let b = Instr::Blt { rs1: Reg::T0, rs2: Reg::T1, offset: -64 };
+        let b = Instr::Blt {
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: -64,
+        };
         assert_eq!(Instr::decode(b.encode()), Ok(b));
-        let j = Instr::Jal { rd: Reg::Ra, offset: 2048 };
+        let j = Instr::Jal {
+            rd: Reg::Ra,
+            offset: 2048,
+        };
         assert_eq!(Instr::decode(j.encode()), Ok(j));
-        let jr = Instr::Jalr { rd: Reg::Zero, base: Reg::Ra, offset: 0 };
+        let jr = Instr::Jalr {
+            rd: Reg::Zero,
+            base: Reg::Ra,
+            offset: 0,
+        };
         assert_eq!(Instr::decode(jr.encode()), Ok(jr));
     }
 
@@ -538,14 +719,26 @@ mod tests {
     fn classes() {
         assert_eq!(Instr::NOP.class(), ExecClass::Alu);
         assert_eq!(Instr::Halt.class(), ExecClass::Halt);
-        let l = Instr::Load { rd: Reg::A0, base: Reg::Sp, offset: 0, width: MemWidth::Word, signed: false };
+        let l = Instr::Load {
+            rd: Reg::A0,
+            base: Reg::Sp,
+            offset: 0,
+            width: MemWidth::Word,
+            signed: false,
+        };
         assert_eq!(l.class(), ExecClass::Load);
         assert!(l.is_load() && l.is_mem() && !l.is_store());
     }
 
     #[test]
     fn display_is_parseable_mnemonics() {
-        let i = Instr::Load { rd: Reg::A0, base: Reg::Sp, offset: -4, width: MemWidth::Byte, signed: false };
+        let i = Instr::Load {
+            rd: Reg::A0,
+            base: Reg::Sp,
+            offset: -4,
+            width: MemWidth::Byte,
+            signed: false,
+        };
         assert_eq!(i.to_string(), "lbu a0, -4(sp)");
     }
 }

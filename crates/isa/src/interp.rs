@@ -226,7 +226,11 @@ impl Interpreter {
         if pc as usize + 4 > self.mem.len() || !pc.is_multiple_of(4) {
             return Err(ExecError::OutOfBounds { pc, addr: pc });
         }
-        let word = u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().expect("4 bytes"));
+        let word = u32::from_le_bytes(
+            self.mem[pc as usize..pc as usize + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
         let instr = Instr::decode(word).map_err(|_| ExecError::InvalidInstruction { pc, word })?;
 
         let mut next_pc = pc.wrapping_add(4);
@@ -239,8 +243,12 @@ impl Interpreter {
             Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
             Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 31)),
             Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 31)),
-            Sra { rd, rs1, rs2 } => self.set_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32),
-            Slt { rd, rs1, rs2 } => self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32),
+            Sra { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32)
+            }
+            Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32)
+            }
             Sltu { rd, rs1, rs2 } => self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32),
             Mul { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2))),
             Div { rd, rs1, rs2 } => {
@@ -262,9 +270,17 @@ impl Interpreter {
             Slti { rd, rs1, imm } => self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32),
             Slli { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) << (imm as u32 & 31)),
             Srli { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) >> (imm as u32 & 31)),
-            Srai { rd, rs1, imm } => self.set_reg(rd, ((self.reg(rs1) as i32) >> (imm as u32 & 31)) as u32),
+            Srai { rd, rs1, imm } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (imm as u32 & 31)) as u32)
+            }
             Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 14),
-            Load { rd, base, offset, width, signed } => {
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
                 let addr = self.reg(base).wrapping_add(offset as u32);
                 let v = self.load(pc, addr, width, signed)?;
                 self.set_reg(rd, v);
@@ -274,7 +290,12 @@ impl Interpreter {
                     width,
                 });
             }
-            Store { src, base, offset, width } => {
+            Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = self.reg(base).wrapping_add(offset as u32);
                 self.store(pc, addr, self.reg(src), width)?;
                 access = Some(MemAccess {
@@ -349,7 +370,9 @@ impl Interpreter {
         let start = self.executed;
         while !self.halted {
             if self.executed - start >= max_steps {
-                return Err(ExecError::StepLimit { executed: self.executed });
+                return Err(ExecError::StepLimit {
+                    executed: self.executed,
+                });
             }
             self.step()?;
         }
@@ -515,7 +538,9 @@ mod tests {
 
     #[test]
     fn out_of_bounds_faults() {
-        let p = assemble(".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n").unwrap();
+        let p =
+            assemble(".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n")
+                .unwrap();
         let mut vm = Interpreter::new(&p);
         let err = vm.run(100).unwrap_err();
         assert!(matches!(err, ExecError::OutOfBounds { .. }), "{err}");
@@ -523,7 +548,8 @@ mod tests {
 
     #[test]
     fn misaligned_faults() {
-        let p = assemble(".text\nmain:\n la a1, b\n lw a0, 1(a1)\n halt\n.data\nb: .word 1, 2\n").unwrap();
+        let p = assemble(".text\nmain:\n la a1, b\n lw a0, 1(a1)\n halt\n.data\nb: .word 1, 2\n")
+            .unwrap();
         let mut vm = Interpreter::new(&p);
         let err = vm.run(100).unwrap_err();
         assert!(matches!(err, ExecError::Misaligned { .. }), "{err}");
@@ -539,7 +565,8 @@ mod tests {
 
     #[test]
     fn steps_report_accesses() {
-        let p = assemble(".text\nmain:\n la a1, w\n lw a0, 0(a1)\n halt\n.data\nw: .word 9\n").unwrap();
+        let p =
+            assemble(".text\nmain:\n la a1, w\n lw a0, 0(a1)\n halt\n.data\nw: .word 9\n").unwrap();
         let mut vm = Interpreter::new(&p);
         let mut reads = 0;
         while !vm.halted() {

@@ -130,7 +130,12 @@ impl fmt::Display for Program {
             }
         }
         for seg in &self.data {
-            writeln!(f, "; data segment {:#010x} ({} bytes)", seg.base, seg.bytes.len())?;
+            writeln!(
+                f,
+                "; data segment {:#010x} ({} bytes)",
+                seg.base,
+                seg.bytes.len()
+            )?;
         }
         Ok(())
     }
@@ -144,10 +149,18 @@ mod tests {
     fn sample() -> Program {
         let mut p = Program::new();
         p.text = vec![
-            Instr::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 5 }.encode(),
+            Instr::Addi {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 5,
+            }
+            .encode(),
             Instr::Halt.encode(),
         ];
-        p.data.push(Segment { base: DATA_BASE, bytes: vec![1, 2, 3, 4] });
+        p.data.push(Segment {
+            base: DATA_BASE,
+            bytes: vec![1, 2, 3, 4],
+        });
         p.symbols.insert("main".into(), TEXT_BASE);
         p
     }
@@ -155,7 +168,14 @@ mod tests {
     #[test]
     fn fetch_in_and_out_of_text() {
         let p = sample();
-        assert_eq!(p.fetch(TEXT_BASE).unwrap(), Instr::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 5 });
+        assert_eq!(
+            p.fetch(TEXT_BASE).unwrap(),
+            Instr::Addi {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 5
+            }
+        );
         assert_eq!(p.fetch(TEXT_BASE + 4).unwrap(), Instr::Halt);
         // Off the end and misaligned fetches halt.
         assert_eq!(p.fetch(p.text_end()).unwrap(), Instr::Halt);

@@ -53,6 +53,20 @@ impl PrefetchBufferStats {
     }
 }
 
+/// Outcome of [`PrefetchBuffer::insert`], so the caller (e.g. a tracing
+/// simulator) can see buffer-internal fates without re-deriving them from
+/// the statistics deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The prefetch was accepted; the buffer had a free entry.
+    Inserted,
+    /// The prefetch was accepted and the oldest entry — the contained
+    /// block address — was evicted unused to make room.
+    InsertedEvicting(u32),
+    /// The block was already resident or in flight; nothing changed.
+    Redundant,
+}
+
 /// Outcome of [`PrefetchBuffer::lookup`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferLookup {
@@ -123,18 +137,21 @@ impl PrefetchBuffer {
     /// evicted (counted as useless if it was never hit). Re-inserting a
     /// resident block is counted in
     /// [`PrefetchBufferStats::redundant_skipped`] and ignored.
-    pub fn insert(&mut self, addr: u32, ready_at: u64) {
+    pub fn insert(&mut self, addr: u32, ready_at: u64) -> InsertOutcome {
         let block = block_of(addr);
         if self.contains(block) {
             self.stats.redundant_skipped += 1;
-            return;
+            return InsertOutcome::Redundant;
         }
+        let mut outcome = InsertOutcome::Inserted;
         if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+            let victim = self.entries.pop_front().expect("buffer is full");
             self.stats.evicted_unused += 1;
+            outcome = InsertOutcome::InsertedEvicting(victim.block);
         }
         self.entries.push_back(Entry { block, ready_at });
         self.stats.inserted += 1;
+        outcome
     }
 
     /// Looks up a demand access. On a match the entry is consumed (the
@@ -156,9 +173,12 @@ impl PrefetchBuffer {
 
     /// Wipes the buffer — the effect of a power failure. Every entry that
     /// never received a hit is counted as a useless (lost) prefetch.
-    pub fn power_loss(&mut self) {
-        self.stats.lost_unused += self.entries.len() as u64;
+    /// Returns how many entries were lost.
+    pub fn power_loss(&mut self) -> usize {
+        let lost = self.entries.len();
+        self.stats.lost_unused += lost as u64;
         self.entries.clear();
+        lost
     }
 }
 
@@ -189,9 +209,9 @@ mod tests {
     #[test]
     fn fifo_eviction_counts_useless() {
         let mut b = PrefetchBuffer::new(2);
-        b.insert(0x000, 0);
-        b.insert(0x010, 0);
-        b.insert(0x020, 0); // evicts 0x000
+        assert_eq!(b.insert(0x000, 0), InsertOutcome::Inserted);
+        assert_eq!(b.insert(0x010, 0), InsertOutcome::Inserted);
+        assert_eq!(b.insert(0x020, 0), InsertOutcome::InsertedEvicting(0x000));
         assert!(!b.contains(0x000));
         assert!(b.contains(0x010) && b.contains(0x020));
         assert_eq!(b.stats().evicted_unused, 1);
@@ -204,7 +224,7 @@ mod tests {
         b.insert(0x000, 0);
         b.insert(0x010, 0);
         b.lookup(0x000, 5);
-        b.power_loss();
+        assert_eq!(b.power_loss(), 1);
         assert_eq!(b.stats().lost_unused, 1);
         assert_eq!(b.stats().useful, 1);
         assert!(b.is_empty());
@@ -214,7 +234,7 @@ mod tests {
     fn redundant_insert_skipped() {
         let mut b = PrefetchBuffer::new(4);
         b.insert(0x100, 0);
-        b.insert(0x104, 0); // same block
+        assert_eq!(b.insert(0x104, 0), InsertOutcome::Redundant); // same block
         assert_eq!(b.len(), 1);
         assert_eq!(b.stats().redundant_skipped, 1);
         assert_eq!(b.stats().inserted, 1);

@@ -28,7 +28,10 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.size_bytes >= BLOCK_SIZE, "cache smaller than one block");
+        assert!(
+            self.size_bytes >= BLOCK_SIZE,
+            "cache smaller than one block"
+        );
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert_eq!(
             self.size_bytes % (BLOCK_SIZE * self.assoc),
@@ -235,7 +238,9 @@ impl Cache {
         if evicted_dirty {
             self.stats.writebacks += 1;
             let victim_block = ((evicted_tag << set_bits) | set_index) << shift;
-            Some(Writeback { block: victim_block })
+            Some(Writeback {
+                block: victim_block,
+            })
         } else {
             None
         }

@@ -27,6 +27,8 @@ mod cache;
 mod nvm;
 
 pub use block::{block_of, BLOCK_SIZE};
-pub use buffer::{BufferLookup, PrefetchBuffer, PrefetchBufferStats};
+pub use buffer::{BufferLookup, InsertOutcome, PrefetchBuffer, PrefetchBufferStats};
 pub use cache::{Cache, CacheConfig, CacheStats, Writeback};
-pub use nvm::{Nvm, NvmConfig, NvmStats, NvmTech, ReadReason, DEFAULT_NVM_BYTES};
+pub use nvm::{
+    Nvm, NvmConfig, NvmStats, NvmTech, ReadReason, DEFAULT_ACTIVE_LEAK_FRACTION, DEFAULT_NVM_BYTES,
+};

@@ -74,9 +74,20 @@ pub struct NvmConfig {
     pub read_nj: f64,
     /// Energy per block write, nanojoules.
     pub write_nj: f64,
-    /// Leakage power, milliwatts.
+    /// Leakage power of the whole array, milliwatts.
     pub leak_mw: f64,
+    /// Fraction of [`NvmConfig::leak_mw`] that is actually un-gated while
+    /// a transfer is in flight. The array's standby power is gated when
+    /// idle (it is nonvolatile); during an access only the addressed bank
+    /// and the shared periphery (decoders, sense amps, I/O) wake up. The
+    /// default models a 4-bank array plus shared periphery: 25% of the
+    /// whole-array leakage (DESIGN.md §2, "Block energy").
+    pub active_leak_fraction: f64,
 }
+
+/// Default [`NvmConfig::active_leak_fraction`]: one bank of a 4-bank
+/// array plus the shared periphery.
+pub const DEFAULT_ACTIVE_LEAK_FRACTION: f64 = 0.25;
 
 impl NvmConfig {
     /// Parameters for `tech` at `size_bytes` capacity, applying the
@@ -94,7 +105,13 @@ impl NvmConfig {
             write_nj: w_nj * factor,
             // Leakage scales linearly with the number of cells.
             leak_mw: leak * (size_bytes as f64) / (DEFAULT_NVM_BYTES as f64),
+            active_leak_fraction: DEFAULT_ACTIVE_LEAK_FRACTION,
         }
+    }
+
+    /// Leakage power awake during a transfer, milliwatts.
+    pub fn active_leak_mw(&self) -> f64 {
+        self.leak_mw * self.active_leak_fraction
     }
 
     /// The paper's default: 16 MB ReRAM.
@@ -241,7 +258,6 @@ impl Nvm {
         self.busy_until = now;
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -53,7 +53,10 @@ impl AmpmPrefetcher {
     /// Panics if `degree` is out of range or `zones` is not a positive
     /// power of two.
     pub fn with_zones(degree: u32, zones: usize) -> AmpmPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
         assert!(zones.is_power_of_two(), "zone count must be a power of two");
         AmpmPrefetcher {
             degree,
@@ -112,7 +115,10 @@ impl Prefetcher for AmpmPrefetcher {
             }
             let i = idx as i64;
             // Pattern: b-d and b-2d accessed => b+d likely next.
-            if Self::bit(map, i - d as i64) && Self::bit(map, i - 2 * d as i64) && !Self::bit(map, i + d as i64) {
+            if Self::bit(map, i - d as i64)
+                && Self::bit(map, i - 2 * d as i64)
+                && !Self::bit(map, i + d as i64)
+            {
                 let target = i + d as i64;
                 if (0..ZONE_BLOCKS as i64).contains(&target) {
                     out.push(base_block.wrapping_add((d * BLOCK_SIZE as i32) as u32));
@@ -197,7 +203,10 @@ mod tests {
         p.observe(&miss(61 * 16), &mut out);
         p.observe(&miss(62 * 16), &mut out);
         p.observe(&miss(63 * 16), &mut out);
-        assert!(out.is_empty(), "must not prefetch across the zone edge: {out:?}");
+        assert!(
+            out.is_empty(),
+            "must not prefetch across the zone edge: {out:?}"
+        );
     }
 
     #[test]
@@ -217,8 +226,14 @@ mod tests {
     fn hits_update_map_but_do_not_trigger() {
         let mut p = AmpmPrefetcher::new(1);
         let mut out = Vec::new();
-        p.observe(&AccessEvent::data(0x40, 0x8000, AccessOutcome::CacheHit, false), &mut out);
-        p.observe(&AccessEvent::data(0x40, 0x8010, AccessOutcome::CacheHit, false), &mut out);
+        p.observe(
+            &AccessEvent::data(0x40, 0x8000, AccessOutcome::CacheHit, false),
+            &mut out,
+        );
+        p.observe(
+            &AccessEvent::data(0x40, 0x8010, AccessOutcome::CacheHit, false),
+            &mut out,
+        );
         assert!(out.is_empty());
         // But the map they built enables a later miss to match.
         p.observe(&miss(0x8020), &mut out);

@@ -43,7 +43,10 @@ impl BestOffsetPrefetcher {
     ///
     /// Panics if `degree` is zero or exceeds [`MAX_DEGREE`].
     pub fn new(degree: u32) -> BestOffsetPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
         BestOffsetPrefetcher {
             degree,
             recent: [u32::MAX; RR_SIZE],

@@ -19,6 +19,15 @@ impl AccessOutcome {
     pub fn is_miss_like(self) -> bool {
         matches!(self, AccessOutcome::BufferHit | AccessOutcome::Miss)
     }
+
+    /// Stable kebab-case label, used by trace/diagnostic output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessOutcome::CacheHit => "cache-hit",
+            AccessOutcome::BufferHit => "buffer-hit",
+            AccessOutcome::Miss => "miss",
+        }
+    }
 }
 
 /// One demand access as seen by a [`Prefetcher`](crate::Prefetcher).

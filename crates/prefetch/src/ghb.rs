@@ -39,7 +39,10 @@ impl GhbPrefetcher {
     ///
     /// Panics if `degree` is out of range or `history_size < 4`.
     pub fn with_history_size(degree: u32, history_size: usize) -> GhbPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
         assert!(history_size >= 4, "history must hold at least 4 entries");
         GhbPrefetcher {
             degree,
@@ -174,7 +177,10 @@ mod tests {
     fn cache_hits_not_recorded() {
         let mut p = GhbPrefetcher::new(1);
         let mut out = Vec::new();
-        p.observe(&AccessEvent::data(0x40, 0x1000, AccessOutcome::CacheHit, false), &mut out);
+        p.observe(
+            &AccessEvent::data(0x40, 0x1000, AccessOutcome::CacheHit, false),
+            &mut out,
+        );
         assert_eq!(p.head, 0);
     }
 

@@ -4,8 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AmpmPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher, NullPrefetcher, Prefetcher,
-    SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
+    AmpmPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher, NullPrefetcher,
+    Prefetcher, SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
 };
 
 /// Instruction-prefetcher selection (Table 3).
@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(InstPrefetcherKind::None.build(2).name(), "none");
         assert_eq!(DataPrefetcherKind::Stride.build(2).name(), "stride");
         assert_eq!(DataPrefetcherKind::Ghb.build(2).name(), "ghb");
-        assert_eq!(DataPrefetcherKind::BestOffset.build(2).name(), "best-offset");
+        assert_eq!(
+            DataPrefetcherKind::BestOffset.build(2).name(),
+            "best-offset"
+        );
         assert_eq!(DataPrefetcherKind::Ampm.build(2).name(), "ampm");
     }
 

@@ -50,8 +50,14 @@ impl MarkovPrefetcher {
     /// Panics if `degree` is out of range or `table_size` is not a
     /// positive power of two.
     pub fn with_table_size(degree: u32, table_size: usize) -> MarkovPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
-        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
+        assert!(
+            table_size.is_power_of_two(),
+            "table size must be a power of two"
+        );
         MarkovPrefetcher {
             degree,
             table: vec![None; table_size],

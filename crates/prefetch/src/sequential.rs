@@ -34,7 +34,10 @@ impl SequentialPrefetcher {
     ///
     /// Panics if `degree` is zero or exceeds [`MAX_DEGREE`].
     pub fn new(degree: u32) -> SequentialPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
         SequentialPrefetcher {
             degree,
             last_trigger_block: None,

@@ -45,7 +45,10 @@ impl TifsPrefetcher {
     ///
     /// Panics if `degree` is out of range or `log_size` is zero.
     pub fn with_log_size(degree: u32, log_size: usize) -> TifsPrefetcher {
-        assert!((1..=MAX_DEGREE).contains(&degree), "degree must be 1..={MAX_DEGREE}");
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "degree must be 1..={MAX_DEGREE}"
+        );
         assert!(log_size > 0, "log size must be positive");
         TifsPrefetcher {
             degree,

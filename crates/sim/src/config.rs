@@ -6,6 +6,8 @@ use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
 use ipex::IpexConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceMode;
+
 /// Core cycles per 10 µs power-trace sample (200 MHz × 10 µs).
 pub const CYCLES_PER_TRACE_SAMPLE: u64 = 2000;
 
@@ -66,6 +68,8 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Instruction latencies in cycles: `[alu, mul, div, branch, jump]`.
     pub latencies: [u64; 5],
+    /// Event tracing (off by default; see [`crate::Tracer`]).
+    pub trace: TraceMode,
 }
 
 impl SimConfig {
@@ -89,6 +93,7 @@ impl SimConfig {
             backup_base_cycles: 100,
             max_cycles: 40_000_000_000,
             latencies: [1, 3, 12, 1, 1],
+            trace: TraceMode::Off,
         }
     }
 
@@ -132,6 +137,12 @@ impl SimConfig {
         self
     }
 
+    /// This configuration with the given trace mode.
+    pub fn with_trace_mode(mut self, trace: TraceMode) -> SimConfig {
+        self.trace = trace;
+        self
+    }
+
     /// The default power trace used throughout §6: synthetic RFHome.
     pub fn default_trace() -> PowerTrace {
         TraceKind::RfHome.synthesize(42, 400_000)
@@ -156,7 +167,10 @@ mod tests {
     #[test]
     fn presets_differ_as_expected() {
         assert!(!SimConfig::no_prefetch().inst_mode.enabled());
-        assert!(matches!(SimConfig::ipex_both().inst_mode, PrefetchMode::Ipex(_)));
+        assert!(matches!(
+            SimConfig::ipex_both().inst_mode,
+            PrefetchMode::Ipex(_)
+        ));
         let ideal = SimConfig::baseline().with_ideal_backup();
         assert!(ideal.ideal_backup);
         assert!(matches!(

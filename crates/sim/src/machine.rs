@@ -2,16 +2,12 @@
 
 use ehs_energy::{mw_to_nj_per_cycle, Capacitor, EnergyBreakdown, PowerTrace};
 use ehs_isa::{ExecClass, ExecError, Interpreter, Program};
-use ehs_mem::{Cache, Nvm, PrefetchBuffer, ReadReason};
+use ehs_mem::{block_of, Cache, InsertOutcome, Nvm, PrefetchBuffer, ReadReason};
 use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher};
 use ipex::Throttle;
 
 use crate::config::{PrefetchMode, CYCLES_PER_TRACE_SAMPLE};
-
-/// Fraction of the NVM array's leakage power that is actually awake
-/// during a transfer: only the addressed bank and shared periphery are
-/// un-gated, not the whole 16 MB array.
-const NVM_ACTIVE_LEAK_FRACTION: f64 = 1.0;
+use crate::trace::{EventCounts, PathId, SimEvent, TraceSink, Tracer};
 use crate::{SimConfig, SimResult, SimStats};
 
 /// Volatile register state checkpointed to NVFFs on every outage:
@@ -62,13 +58,33 @@ struct MemPath {
 }
 
 impl MemPath {
-    fn power_loss(&mut self) {
+    /// Wipes all volatile state; returns how many unused prefetch-buffer
+    /// entries were lost.
+    fn power_loss(&mut self) -> u64 {
         self.cache.checkpoint_flush(); // ICache is never dirty; DCache flush counted by caller
         self.cache.power_loss();
-        self.buf.power_loss();
+        let lost = self.buf.power_loss() as u64;
         self.pf.power_loss();
         self.throttle.on_power_failure();
+        lost
     }
+}
+
+/// Statistics snapshot at the start of the current power cycle, used to
+/// compute [`SimEvent::PowerCycleSummary`] deltas. Only updated while
+/// tracing is enabled.
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleMark {
+    on_cycles: u64,
+    off_cycles: u64,
+    cache_nj: f64,
+    memory_nj: f64,
+    compute_nj: f64,
+    backup_restore_nj: f64,
+    /// Candidates seen by IPEX (issued + throttled, both paths).
+    ipex_seen: u64,
+    /// Candidates throttled by IPEX (both paths).
+    ipex_throttled: u64,
 }
 
 /// The simulated energy-harvesting system.
@@ -92,6 +108,11 @@ pub struct Machine {
     leak_nj: (f64, f64, f64, f64),
     /// Scratch buffer for prefetch candidates.
     cand: Vec<u32>,
+    /// Event tracing front end ([`TraceMode::Off`](crate::TraceMode) by
+    /// default: a single disabled branch per emission site).
+    tracer: Tracer,
+    /// Power-cycle statistics mark for summary events.
+    mark: CycleMark,
 }
 
 impl Machine {
@@ -160,8 +181,23 @@ impl Machine {
             pending_draw_nj: 0.0,
             leak_nj,
             cand: Vec::with_capacity(8),
+            tracer: Tracer::from_mode(&cfg.trace),
+            mark: CycleMark::default(),
             cfg,
         }
+    }
+
+    /// Replaces the tracer with one forwarding to `sink` (enables
+    /// tracing regardless of the configured [`TraceMode`](crate::TraceMode)).
+    /// Call before [`Machine::run`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Tracer::with_sink(sink);
+    }
+
+    /// Per-kind tallies of the events emitted so far (all zero when
+    /// tracing is disabled).
+    pub fn trace_counts(&self) -> &EventCounts {
+        self.tracer.counts()
     }
 
     /// Current simulated cycle (on + off time).
@@ -194,15 +230,25 @@ impl Machine {
     pub fn run(&mut self) -> Result<SimResult, SimError> {
         // The first power cycle starts implicitly (capacitor full).
         self.stats.power_cycles = 1;
-        while !self.interp.halted() {
+        let outcome = loop {
+            if self.interp.halted() {
+                break Ok(());
+            }
             if self.cycle >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimit {
+                break Err(SimError::CycleLimit {
                     max_cycles: self.cfg.max_cycles,
                 });
             }
-            self.step_instruction()?;
+            if let Err(e) = self.step_instruction() {
+                break Err(e);
+            }
+        };
+        if outcome.is_ok() {
+            // The final (still-running) power cycle gets its rollup too.
+            self.emit_power_cycle_summary();
         }
-        Ok(self.result())
+        self.tracer.flush();
+        outcome.map(|()| self.result())
     }
 
     /// Snapshot of all statistics so far.
@@ -228,32 +274,8 @@ impl Machine {
         // Voltage monitor: IPEX threshold crossings (possibly reissuing
         // throttled prefetches, §5.1 extension) and the backup trigger.
         let v = self.cap.voltage();
-        if let Some(reissue) = self.ipath.throttle.observe_voltage(v) {
-            for block in reissue {
-                issue_prefetch(
-                    &mut self.ipath,
-                    &mut self.nvm,
-                    &mut self.energy,
-                    &mut self.stats,
-                    &mut self.pending_draw_nj,
-                    self.cycle,
-                    block,
-                );
-            }
-        }
-        if let Some(reissue) = self.dpath.throttle.observe_voltage(v) {
-            for block in reissue {
-                issue_prefetch(
-                    &mut self.dpath,
-                    &mut self.nvm,
-                    &mut self.energy,
-                    &mut self.stats,
-                    &mut self.pending_draw_nj,
-                    self.cycle,
-                    block,
-                );
-            }
-        }
+        self.observe_voltage(true, v);
+        self.observe_voltage(false, v);
         if self.cap.needs_backup() {
             return self.outage_and_reboot();
         }
@@ -296,6 +318,63 @@ impl Machine {
         Ok(())
     }
 
+    /// Feeds the capacitor voltage to one path's IPEX controller,
+    /// tracing threshold crossings and reissuing throttled prefetches
+    /// (§5.1 extension).
+    fn observe_voltage(&mut self, inst: bool, v: f64) {
+        let now = self.cycle;
+        let Machine {
+            ipath,
+            dpath,
+            nvm,
+            energy,
+            stats,
+            pending_draw_nj,
+            tracer,
+            ..
+        } = self;
+        let (path, pid) = if inst {
+            (ipath, PathId::Inst)
+        } else {
+            (dpath, PathId::Data)
+        };
+        // Querying the degree costs a couple of loads; only pay for it
+        // while tracing.
+        let old_degree = if tracer.is_enabled() {
+            path.throttle.current_degree()
+        } else {
+            None
+        };
+        if let Some(reissue) = path.throttle.observe_voltage(v) {
+            let new_degree = path.throttle.current_degree();
+            tracer.emit_with(|| SimEvent::ThresholdCross {
+                cycle: now,
+                path: pid,
+                voltage: v,
+                old_degree: old_degree.unwrap_or(0),
+                new_degree: new_degree.unwrap_or(0),
+            });
+            for block in reissue {
+                tracer.emit_with(|| SimEvent::PrefetchReissued {
+                    cycle: now,
+                    path: pid,
+                    block,
+                });
+                issue_prefetch(
+                    path,
+                    nvm,
+                    energy,
+                    stats,
+                    pending_draw_nj,
+                    now,
+                    block,
+                    tracer,
+                    pid,
+                );
+            }
+        }
+    }
+
     /// One demand access through a cache path; returns its total cycles
     /// (1-cycle hit plus any stall).
     fn mem_access(&mut self, inst: bool, pc: u32, addr: u32, is_write: bool) -> u64 {
@@ -311,9 +390,14 @@ impl Machine {
             pending_draw_nj,
             cand,
             cfg,
+            tracer,
             ..
         } = self;
-        let path = if inst { ipath } else { dpath };
+        let (path, pid) = if inst {
+            (ipath, PathId::Inst)
+        } else {
+            (dpath, PathId::Data)
+        };
 
         // Cache probe.
         let access_nj = cfg.energy.cache_access_nj;
@@ -328,8 +412,34 @@ impl Machine {
             // Useful prefetch: promote into the cache; a late prefetch
             // stalls until the NVM read completes (§5.1 duplicate
             // suppression).
-            latency += found.ready_at.saturating_sub(now);
-            fill_cache(path, nvm, energy, pending_draw_nj, now, addr, is_write, access_nj);
+            let late_by = found.ready_at.saturating_sub(now);
+            latency += late_by;
+            tracer.emit_with(|| SimEvent::BufferHit {
+                cycle: now,
+                path: pid,
+                block: block_of(addr),
+                late_by,
+            });
+            if late_by > 0 {
+                tracer.emit_with(|| SimEvent::LatePrefetch {
+                    cycle: now,
+                    path: pid,
+                    block: block_of(addr),
+                    stall_cycles: late_by,
+                });
+            }
+            fill_cache(
+                path,
+                nvm,
+                energy,
+                pending_draw_nj,
+                now,
+                addr,
+                is_write,
+                access_nj,
+                tracer,
+                pid,
+            );
             AccessOutcome::BufferHit
         } else {
             // Demand miss to NVM.
@@ -342,11 +452,22 @@ impl Machine {
             // Dynamic block transfer plus the gated array's active-window
             // leakage for the transfer duration.
             let read_nj = cfg.nvm.block_read_nj()
-                + mw_to_nj_per_cycle(cfg.nvm.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.nvm.read_cycles as f64;
+                + mw_to_nj_per_cycle(cfg.nvm.active_leak_mw()) * cfg.nvm.read_cycles as f64;
             energy.memory_nj += read_nj;
             *pending_draw_nj += read_nj;
             latency += done - now;
-            fill_cache(path, nvm, energy, pending_draw_nj, now, addr, is_write, access_nj);
+            fill_cache(
+                path,
+                nvm,
+                energy,
+                pending_draw_nj,
+                now,
+                addr,
+                is_write,
+                access_nj,
+                tracer,
+                pid,
+            );
             AccessOutcome::Miss
         };
 
@@ -359,9 +480,28 @@ impl Machine {
         };
         cand.clear();
         path.pf.observe(&event, cand);
-        path.throttle.filter(cand);
+        let proposed = cand.len();
+        let kept = path.throttle.filter(cand);
+        let dropped = (proposed - kept) as u64;
+        if dropped > 0 {
+            tracer.emit_with(|| SimEvent::PrefetchThrottled {
+                cycle: now,
+                path: pid,
+                count: dropped,
+            });
+        }
         for &block in cand.iter() {
-            issue_prefetch(path, nvm, energy, stats, pending_draw_nj, now, block);
+            issue_prefetch(
+                path,
+                nvm,
+                energy,
+                stats,
+                pending_draw_nj,
+                now,
+                block,
+                tracer,
+                pid,
+            );
         }
 
         let stall = latency - 1;
@@ -408,9 +548,16 @@ impl Machine {
     /// JIT checkpoint, power-off, recharge, restore.
     fn outage_and_reboot(&mut self) -> Result<(), SimError> {
         let ideal = self.cfg.ideal_backup;
+        let trigger_cycle = self.cycle;
+        let trigger_v = self.cap.voltage();
+        self.tracer.emit_with(|| SimEvent::OutageBegin {
+            cycle: trigger_cycle,
+            voltage: trigger_v,
+        });
 
         // --- backup ---
         if !ideal {
+            let br_before = self.energy.backup_restore_nj;
             let dirty = self.dpath.cache.dirty_count() + self.ipath.cache.dirty_count();
             self.stats.checkpoint_blocks += dirty as u64;
             let mut backup_cycles = self.cfg.backup_base_cycles;
@@ -439,11 +586,29 @@ impl Machine {
             self.cap.consume_nj(leak);
             self.cycle += backup_cycles;
             self.stats.off_cycles += backup_cycles;
+            let done_cycle = self.cycle;
+            let energy_nj = self.energy.backup_restore_nj - br_before;
+            self.tracer.emit_with(|| SimEvent::BackupDone {
+                cycle: done_cycle,
+                dirty_blocks: dirty as u64,
+                backup_cycles,
+                energy_nj,
+            });
         }
 
         // --- volatile state is lost ---
-        self.ipath.power_loss();
-        self.dpath.power_loss();
+        let lost_i = self.ipath.power_loss();
+        let lost_d = self.dpath.power_loss();
+        let loss_cycle = self.cycle;
+        for (lost, pid) in [(lost_i, PathId::Inst), (lost_d, PathId::Data)] {
+            if lost > 0 {
+                self.tracer.emit_with(|| SimEvent::LostUnused {
+                    cycle: loss_cycle,
+                    path: pid,
+                    count: lost,
+                });
+            }
+        }
 
         // --- recharge (consuming nothing while off) ---
         while !self.cap.can_boot() {
@@ -456,7 +621,8 @@ impl Machine {
             let idx = self.cycle / CYCLES_PER_TRACE_SAMPLE;
             let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
             let take = boundary - self.cycle;
-            self.cap.harvest_nj(self.trace.harvest_nj_per_cycle(idx) * take as f64);
+            self.cap
+                .harvest_nj(self.trace.harvest_nj_per_cycle(idx) * take as f64);
             self.cycle = boundary;
             self.stats.off_cycles += take;
         }
@@ -479,9 +645,64 @@ impl Machine {
         self.nvm.power_cycle_reset(self.cycle);
         self.ipath.throttle.on_reboot();
         self.dpath.throttle.on_reboot();
-        self.stats.power_cycles += 1;
         self.stats.total_cycles = self.cycle;
+        // Roll up the power cycle that just ended (its off-time — backup,
+        // recharge, restore — is attributed to it), then begin the next.
+        self.emit_power_cycle_summary();
+        self.stats.power_cycles += 1;
+        let restore_cycle = self.cycle;
+        let power_cycle = self.stats.power_cycles;
+        self.tracer.emit_with(|| SimEvent::Restore {
+            cycle: restore_cycle,
+            power_cycle,
+        });
         Ok(())
+    }
+
+    /// Emits a [`SimEvent::PowerCycleSummary`] for the power cycle
+    /// ending now and re-marks the statistics snapshot. No-op while
+    /// tracing is disabled.
+    fn emit_power_cycle_summary(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let tally = |t: &Throttle| {
+            t.stats()
+                .map_or((0, 0), |s| (s.issued + s.throttled, s.throttled))
+        };
+        let (seen_i, throttled_i) = tally(&self.ipath.throttle);
+        let (seen_d, throttled_d) = tally(&self.dpath.throttle);
+        let (seen, throttled) = (seen_i + seen_d, throttled_i + throttled_d);
+        let mark = self.mark;
+        let d_seen = seen.saturating_sub(mark.ipex_seen);
+        let d_throttled = throttled.saturating_sub(mark.ipex_throttled);
+        let throttle_rate = if d_seen > 0 {
+            d_throttled as f64 / d_seen as f64
+        } else {
+            0.0
+        };
+        let ev = SimEvent::PowerCycleSummary {
+            cycle: self.cycle,
+            power_cycle: self.stats.power_cycles,
+            on_cycles: self.stats.on_cycles - mark.on_cycles,
+            off_cycles: self.stats.off_cycles - mark.off_cycles,
+            cache_nj: self.energy.cache_nj - mark.cache_nj,
+            memory_nj: self.energy.memory_nj - mark.memory_nj,
+            compute_nj: self.energy.compute_nj - mark.compute_nj,
+            backup_restore_nj: self.energy.backup_restore_nj - mark.backup_restore_nj,
+            throttle_rate,
+        };
+        self.tracer.emit_with(move || ev);
+        self.mark = CycleMark {
+            on_cycles: self.stats.on_cycles,
+            off_cycles: self.stats.off_cycles,
+            cache_nj: self.energy.cache_nj,
+            memory_nj: self.energy.memory_nj,
+            compute_nj: self.energy.compute_nj,
+            backup_restore_nj: self.energy.backup_restore_nj,
+            ipex_seen: seen,
+            ipex_throttled: throttled,
+        };
     }
 }
 
@@ -498,22 +719,35 @@ fn fill_cache(
     addr: u32,
     is_write: bool,
     access_nj: f64,
+    tracer: &mut Tracer,
+    pid: PathId,
 ) {
     energy.cache_nj += access_nj;
     *pending += access_nj;
-    if let Some(_wb) = path.cache.fill(addr, is_write) {
+    tracer.emit_with(|| SimEvent::CacheFill {
+        cycle: now,
+        path: pid,
+        block: block_of(addr),
+    });
+    if let Some(wb) = path.cache.fill(addr, is_write) {
         nvm.write(now);
         let cfg = nvm.config();
         let w = cfg.block_write_nj()
-            + mw_to_nj_per_cycle(cfg.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.write_cycles as f64;
+            + mw_to_nj_per_cycle(cfg.active_leak_mw()) * cfg.write_cycles as f64;
         energy.memory_nj += w;
         *pending += w;
+        tracer.emit_with(|| SimEvent::Writeback {
+            cycle: now,
+            path: pid,
+            block: wb.block,
+        });
     }
 }
 
 /// Issues one prefetch: skipped if the block is already cached or
 /// in-flight, otherwise an NVM read is scheduled and the buffer records
 /// the completion time.
+#[allow(clippy::too_many_arguments)]
 fn issue_prefetch(
     path: &mut MemPath,
     nvm: &mut Nvm,
@@ -522,6 +756,8 @@ fn issue_prefetch(
     pending: &mut f64,
     now: u64,
     block: u32,
+    tracer: &mut Tracer,
+    pid: PathId,
 ) {
     if path.cache.contains(block) {
         stats.redundant_cache_skips += 1;
@@ -533,11 +769,22 @@ fn issue_prefetch(
     }
     let done = nvm.read(now, ReadReason::Prefetch);
     let cfg = nvm.config();
-    let r = cfg.block_read_nj()
-        + mw_to_nj_per_cycle(cfg.leak_mw) * NVM_ACTIVE_LEAK_FRACTION * cfg.read_cycles as f64;
+    let r = cfg.block_read_nj() + mw_to_nj_per_cycle(cfg.active_leak_mw()) * cfg.read_cycles as f64;
     energy.memory_nj += r;
     *pending += r;
-    path.buf.insert(block, done);
+    tracer.emit_with(|| SimEvent::PrefetchIssued {
+        cycle: now,
+        path: pid,
+        block,
+        done_at: done,
+    });
+    if let InsertOutcome::InsertedEvicting(victim) = path.buf.insert(block, done) {
+        tracer.emit_with(|| SimEvent::EvictedUnused {
+            cycle: now,
+            path: pid,
+            block: victim,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -576,7 +823,9 @@ mod tests {
     fn steady_power(cfg: SimConfig) -> SimResult {
         // 50 mW >> draw: never an outage.
         let trace = PowerTrace::constant_mw(50.0, 16);
-        Machine::with_trace(cfg, &tiny_program(), trace).run().unwrap()
+        Machine::with_trace(cfg, &tiny_program(), trace)
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -611,7 +860,10 @@ mod tests {
         assert!(r.stats.power_cycles > 1, "expected outages");
         assert!(r.stats.off_cycles > 0);
         assert!(r.energy.backup_restore_nj > 0.0);
-        assert!(r.stats.checkpoint_blocks > 0, "dirty DCache lines must be flushed");
+        assert!(
+            r.stats.checkpoint_blocks > 0,
+            "dirty DCache lines must be flushed"
+        );
     }
 
     #[test]
@@ -620,9 +872,13 @@ mod tests {
         let real = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace.clone())
             .run()
             .unwrap();
-        let ideal = Machine::with_trace(SimConfig::baseline().with_ideal_backup(), &tiny_program(), trace)
-            .run()
-            .unwrap();
+        let ideal = Machine::with_trace(
+            SimConfig::baseline().with_ideal_backup(),
+            &tiny_program(),
+            trace,
+        )
+        .run()
+        .unwrap();
         assert!(ideal.stats.total_cycles <= real.stats.total_cycles);
         assert_eq!(ideal.energy.backup_restore_nj, 0.0);
     }
@@ -647,7 +903,10 @@ mod tests {
             .run()
             .unwrap();
         let ipex_d = r.ipex_d.expect("IPEX enabled on DCache");
-        assert!(ipex_d.throttled > 0, "weak power must throttle some prefetches");
+        assert!(
+            ipex_d.throttled > 0,
+            "weak power must throttle some prefetches"
+        );
         assert!(r.stats.power_cycles > 1);
     }
 
@@ -658,7 +917,9 @@ mod tests {
         let trace = PowerTrace::constant_mw(0.001, 16);
         let mut cfg = SimConfig::baseline();
         cfg.max_cycles = 5_000_000;
-        let err = Machine::with_trace(cfg, &tiny_program(), trace).run().unwrap_err();
+        let err = Machine::with_trace(cfg, &tiny_program(), trace)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::CycleLimit { .. }));
     }
 
@@ -679,13 +940,18 @@ mod tests {
             .unwrap();
         let mut big_cfg = SimConfig::baseline();
         big_cfg.capacitor = CapacitorConfig::with_capacitance_uf(47.0);
-        let big = Machine::with_trace(big_cfg, &tiny_program(), trace).run().unwrap();
+        let big = Machine::with_trace(big_cfg, &tiny_program(), trace)
+            .run()
+            .unwrap();
         assert!(big.stats.power_cycles < small.stats.power_cycles);
     }
 
     #[test]
     fn faulting_program_reports_exec_error() {
-        let p = asm::assemble(".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n").unwrap();
+        let p = asm::assemble(
+            ".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n",
+        )
+        .unwrap();
         let err = Machine::with_trace(SimConfig::baseline(), &p, PowerTrace::constant_mw(50.0, 4))
             .run()
             .unwrap_err();

@@ -24,22 +24,30 @@ fn fold(cs: u32, v: u32) -> u32 {
 
 /// The standard IMA ADPCM step-size table.
 const STEP_TABLE: [i32; 89] = [
-    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97,
-    107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
-    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
-    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350,
-    22385, 24623, 27086, 29794, 32767,
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// The standard IMA ADPCM index-adjust table (indexed by the 4-bit code).
 const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
 
 fn step_table_words() -> String {
-    STEP_TABLE.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    STEP_TABLE
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn index_table_words() -> String {
-    INDEX_TABLE.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    INDEX_TABLE
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 // ---------------------------------------------------------------------
@@ -183,7 +191,11 @@ pub fn ref_adpcme() -> u32 {
             code |= 1;
             vpdiff += st;
         }
-        valpred = if sign != 0 { valpred - vpdiff } else { valpred + vpdiff };
+        valpred = if sign != 0 {
+            valpred - vpdiff
+        } else {
+            valpred + vpdiff
+        };
         valpred = valpred.clamp(-32768, 32767);
         code |= sign;
         index = (index + INDEX_TABLE[code as usize]).clamp(0, 88);
@@ -314,7 +326,11 @@ pub fn ref_adpcmd() -> u32 {
         if code & 1 != 0 {
             vpdiff += step >> 2;
         }
-        valpred = if code & 8 != 0 { valpred - vpdiff } else { valpred + vpdiff };
+        valpred = if code & 8 != 0 {
+            valpred - vpdiff
+        } else {
+            valpred + vpdiff
+        };
         valpred = valpred.clamp(-32768, 32767);
         cs = fold(cs, (valpred & 0xffff) as u32);
     }
@@ -531,7 +547,11 @@ fn ref_g721(encode: bool) -> u32 {
         let rec = (pred + q * step).clamp(-30000, 30000);
         // Step adaptation.
         let qa = q.abs();
-        step = if qa >= 4 { step + (step >> 1) } else { step - (step >> 3) };
+        step = if qa >= 4 {
+            step + (step >> 1)
+        } else {
+            step - (step >> 3)
+        };
         step = step.clamp(4, 2048);
         // Coefficient adaptation.
         let d_neg = d < 0;
@@ -540,7 +560,11 @@ fn ref_g721(encode: bool) -> u32 {
         // History.
         p2 = p1;
         p1 = rec;
-        let v = if encode { (q & 0xf) as u32 } else { (rec & 0xffff) as u32 };
+        let v = if encode {
+            (q & 0xf) as u32
+        } else {
+            (rec & 0xffff) as u32
+        };
         cs = fold(cs, v);
     }
     cs

@@ -73,7 +73,12 @@ fn susane_params() -> SusanParams {
 }
 
 fn gen_susan(p: &SusanParams) -> String {
-    let pad = crate::pad_asm("t3", "t0", p.seed ^ 0x5a5a, if p.name == "susanc" { 230 } else { 200 });
+    let pad = crate::pad_asm(
+        "t3",
+        "t0",
+        p.seed ^ 0x5a5a,
+        if p.name == "susanc" { 230 } else { 200 },
+    );
     let offs: Vec<String> = p
         .offsets
         .iter()

@@ -193,26 +193,126 @@ macro_rules! workload {
 
 /// The full 20-benchmark suite, in the paper's figure order.
 pub const SUITE: [Workload; 20] = [
-    workload!("adpcmd", "IMA ADPCM decoder over an LCG code stream", codec::gen_adpcmd, codec::ref_adpcmd),
-    workload!("adpcme", "IMA ADPCM encoder over synthetic PCM", codec::gen_adpcme, codec::ref_adpcme),
-    workload!("basicm", "basic math: Newton isqrt, polynomials, gcd grid", math::gen_basicm, math::ref_basicm),
-    workload!("fft", "fixed-point radix-2 FFT, 512 points", transform::gen_fft, transform::ref_fft),
-    workload!("g721d", "G.721-style adaptive-predictor decoder", codec::gen_g721d, codec::ref_g721d),
-    workload!("g721e", "G.721-style adaptive-predictor encoder", codec::gen_g721e, codec::ref_g721e),
-    workload!("gsmd", "GSM-style LTP frame decoder", codec::gen_gsmd, codec::ref_gsmd),
-    workload!("gsme", "GSM-style autocorrelation frame encoder", codec::gen_gsme, codec::ref_gsme),
-    workload!("ifft", "fixed-point inverse FFT, 512 points", transform::gen_ifft, transform::ref_ifft),
-    workload!("jpegd", "dequant + integer IDCT over 8x8 blocks", transform::gen_jpegd, transform::ref_jpegd),
-    workload!("patricia", "Patricia-trie build and lookups (pointer chasing)", search::gen_patricia, search::ref_patricia),
-    workload!("pegwitd", "pegwit-style table-driven GF decryption", crypto::gen_pegwitd, crypto::ref_pegwitd),
-    workload!("pegwite", "pegwit-style table-driven GF encryption", crypto::gen_pegwite, crypto::ref_pegwite),
-    workload!("qsort", "iterative quicksort of 2048 words", search::gen_qsort, search::ref_qsort),
-    workload!("rijndaeld", "AES-style inverse-S-box block decryption", crypto::gen_rijndaeld, crypto::ref_rijndaeld),
-    workload!("rijndaele", "AES-style S-box block encryption", crypto::gen_rijndaele, crypto::ref_rijndaele),
-    workload!("strings", "multi-needle substring search over 16 kB", search::gen_strings, search::ref_strings),
-    workload!("susanc", "SUSAN-style corner response, 64x64 image", image::gen_susanc, image::ref_susanc),
-    workload!("susane", "SUSAN-style edge response, 64x64 image", image::gen_susane, image::ref_susane),
-    workload!("unepic", "inverse Haar wavelet reconstruction, 64x64", transform::gen_unepic, transform::ref_unepic),
+    workload!(
+        "adpcmd",
+        "IMA ADPCM decoder over an LCG code stream",
+        codec::gen_adpcmd,
+        codec::ref_adpcmd
+    ),
+    workload!(
+        "adpcme",
+        "IMA ADPCM encoder over synthetic PCM",
+        codec::gen_adpcme,
+        codec::ref_adpcme
+    ),
+    workload!(
+        "basicm",
+        "basic math: Newton isqrt, polynomials, gcd grid",
+        math::gen_basicm,
+        math::ref_basicm
+    ),
+    workload!(
+        "fft",
+        "fixed-point radix-2 FFT, 512 points",
+        transform::gen_fft,
+        transform::ref_fft
+    ),
+    workload!(
+        "g721d",
+        "G.721-style adaptive-predictor decoder",
+        codec::gen_g721d,
+        codec::ref_g721d
+    ),
+    workload!(
+        "g721e",
+        "G.721-style adaptive-predictor encoder",
+        codec::gen_g721e,
+        codec::ref_g721e
+    ),
+    workload!(
+        "gsmd",
+        "GSM-style LTP frame decoder",
+        codec::gen_gsmd,
+        codec::ref_gsmd
+    ),
+    workload!(
+        "gsme",
+        "GSM-style autocorrelation frame encoder",
+        codec::gen_gsme,
+        codec::ref_gsme
+    ),
+    workload!(
+        "ifft",
+        "fixed-point inverse FFT, 512 points",
+        transform::gen_ifft,
+        transform::ref_ifft
+    ),
+    workload!(
+        "jpegd",
+        "dequant + integer IDCT over 8x8 blocks",
+        transform::gen_jpegd,
+        transform::ref_jpegd
+    ),
+    workload!(
+        "patricia",
+        "Patricia-trie build and lookups (pointer chasing)",
+        search::gen_patricia,
+        search::ref_patricia
+    ),
+    workload!(
+        "pegwitd",
+        "pegwit-style table-driven GF decryption",
+        crypto::gen_pegwitd,
+        crypto::ref_pegwitd
+    ),
+    workload!(
+        "pegwite",
+        "pegwit-style table-driven GF encryption",
+        crypto::gen_pegwite,
+        crypto::ref_pegwite
+    ),
+    workload!(
+        "qsort",
+        "iterative quicksort of 2048 words",
+        search::gen_qsort,
+        search::ref_qsort
+    ),
+    workload!(
+        "rijndaeld",
+        "AES-style inverse-S-box block decryption",
+        crypto::gen_rijndaeld,
+        crypto::ref_rijndaeld
+    ),
+    workload!(
+        "rijndaele",
+        "AES-style S-box block encryption",
+        crypto::gen_rijndaele,
+        crypto::ref_rijndaele
+    ),
+    workload!(
+        "strings",
+        "multi-needle substring search over 16 kB",
+        search::gen_strings,
+        search::ref_strings
+    ),
+    workload!(
+        "susanc",
+        "SUSAN-style corner response, 64x64 image",
+        image::gen_susanc,
+        image::ref_susanc
+    ),
+    workload!(
+        "susane",
+        "SUSAN-style edge response, 64x64 image",
+        image::gen_susane,
+        image::ref_susane
+    ),
+    workload!(
+        "unepic",
+        "inverse Haar wavelet reconstruction, 64x64",
+        transform::gen_unepic,
+        transform::ref_unepic
+    ),
 ];
 
 /// Looks up a workload by its paper name.
@@ -244,7 +344,11 @@ pub(crate) fn check_workload(w: &Workload) {
         w.name()
     );
     let result_addr = program.symbol("result").expect("result label");
-    assert_eq!(vm.read_u32(result_addr), expected, "`result` slot disagrees with a0");
+    assert_eq!(
+        vm.read_u32(result_addr),
+        expected,
+        "`result` slot disagrees with a0"
+    );
 }
 
 #[cfg(test)]
@@ -271,7 +375,11 @@ mod tests {
         for w in &SUITE {
             let p = w.program();
             assert!(!p.is_empty(), "{} produced an empty program", w.name());
-            assert!(p.symbol("result").is_some(), "{} lacks a `result` label", w.name());
+            assert!(
+                p.symbol("result").is_some(),
+                "{} lacks a `result` label",
+                w.name()
+            );
         }
     }
 

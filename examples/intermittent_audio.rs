@@ -22,8 +22,13 @@ fn main() {
     for kind in TraceKind::ALL {
         let trace = kind.synthesize(7, 400_000);
         let mean = trace.mean_power_mw();
-        for (label, cfg) in [("base", SimConfig::baseline()), ("IPEX", SimConfig::ipex_both())] {
-            let r = Machine::with_trace(cfg, &program, trace.clone()).run().expect("completes");
+        for (label, cfg) in [
+            ("base", SimConfig::baseline()),
+            ("IPEX", SimConfig::ipex_both()),
+        ] {
+            let r = Machine::with_trace(cfg, &program, trace.clone())
+                .run()
+                .expect("completes");
             println!(
                 "{:>10} {:>9.2} mW {:>8} {:>10} {:>12.2} {:>10.2}",
                 kind.name(),

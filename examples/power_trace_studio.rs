@@ -9,10 +9,18 @@ use ehs_repro::sim::{Machine, SimConfig};
 
 fn main() {
     println!("== synthetic harvested-power environments (10 us samples) ==\n");
-    println!("{:>10} {:>12} {:>16}", "trace", "mean (mW)", "stable >= 4 mW");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "trace", "mean (mW)", "stable >= 4 mW"
+    );
     for kind in TraceKind::ALL {
         let t = kind.synthesize(42, 100_000);
-        println!("{:>10} {:>12.2} {:>15.1}%", kind.name(), t.mean_power_mw(), t.stable_fraction(4.0) * 100.0);
+        println!(
+            "{:>10} {:>12.2} {:>15.1}%",
+            kind.name(),
+            t.mean_power_mw(),
+            t.stable_fraction(4.0) * 100.0
+        );
     }
 
     // Round-trip through the paper's text format (one mW value per line).
@@ -20,7 +28,11 @@ fn main() {
     let text = original.to_text();
     let reloaded = PowerTrace::from_text(&text).expect("parses back");
     assert_eq!(reloaded.len(), original.len());
-    println!("\ntext format round-trip: {} samples, {} bytes of text", original.len(), text.len());
+    println!(
+        "\ntext format round-trip: {} samples, {} bytes of text",
+        original.len(),
+        text.len()
+    );
 
     // A coarse capacitor-voltage timeline: sample the machine's voltage
     // between chunks of execution.
@@ -37,5 +49,8 @@ fn main() {
         r.stats.power_cycles,
         100.0 * r.stats.on_cycles as f64 / r.stats.total_cycles as f64
     );
-    println!("voltage now: {:.3} V (between V_backup 3.2 V and V_max 3.4 V)", machine.voltage());
+    println!(
+        "voltage now: {:.3} V (between V_backup 3.2 V and V_max 3.4 V)",
+        machine.voltage()
+    );
 }

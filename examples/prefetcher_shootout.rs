@@ -12,14 +12,23 @@ fn main() {
     let trace = SimConfig::default_trace();
 
     println!("patricia (bitwise-trie lookups) under RFHome\n");
-    println!("{:>12} {:>12} {:>6} {:>12} {:>10} {:>8} {:>8}", "inst-pf", "data-pf", "IPEX", "cycles", "energy(uJ)", "acc(I)", "acc(D)");
+    println!(
+        "{:>12} {:>12} {:>6} {:>12} {:>10} {:>8} {:>8}",
+        "inst-pf", "data-pf", "IPEX", "cycles", "energy(uJ)", "acc(I)", "acc(D)"
+    );
     for ikind in InstPrefetcherKind::TABLE3 {
         for dkind in DataPrefetcherKind::TABLE4 {
             for ipex_on in [false, true] {
-                let mut cfg = if ipex_on { SimConfig::ipex_both() } else { SimConfig::baseline() };
+                let mut cfg = if ipex_on {
+                    SimConfig::ipex_both()
+                } else {
+                    SimConfig::baseline()
+                };
                 cfg.inst_prefetcher = ikind;
                 cfg.data_prefetcher = dkind;
-                let r = Machine::with_trace(cfg, &program, trace.clone()).run().expect("completes");
+                let r = Machine::with_trace(cfg, &program, trace.clone())
+                    .run()
+                    .expect("completes");
                 println!(
                     "{:>12} {:>12} {:>6} {:>12} {:>10.2} {:>7.1}% {:>7.1}%",
                     ikind.name(),

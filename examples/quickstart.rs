@@ -11,7 +11,11 @@ fn main() {
     let trace = SimConfig::default_trace();
 
     println!("workload: {} — {}", workload.name(), workload.description());
-    println!("program:  {} instructions of text, {} B of data\n", program.len(), program.footprint());
+    println!(
+        "program:  {} instructions of text, {} B of data\n",
+        program.len(),
+        program.footprint()
+    );
 
     let baseline = Machine::with_trace(SimConfig::baseline(), &program, trace.clone())
         .run()
@@ -20,9 +24,16 @@ fn main() {
         .run()
         .expect("ipex completes");
 
-    for (name, r) in [("conventional prefetchers", &baseline), ("with IPEX", &ipex)] {
+    for (name, r) in [
+        ("conventional prefetchers", &baseline),
+        ("with IPEX", &ipex),
+    ] {
         println!("== {name} ==");
-        println!("  execution time : {} cycles ({:.2} ms at 200 MHz)", r.stats.total_cycles, r.stats.total_cycles as f64 * 5e-6);
+        println!(
+            "  execution time : {} cycles ({:.2} ms at 200 MHz)",
+            r.stats.total_cycles,
+            r.stats.total_cycles as f64 * 5e-6
+        );
         println!("  power cycles   : {}", r.stats.power_cycles);
         println!("  energy         : {:.0} nJ", r.total_energy_nj());
         println!("  prefetch ops   : {}", r.prefetch_operations());

@@ -24,7 +24,12 @@ fn decoded_text_round_trips_through_encode() {
         for (i, &word) in p.text.iter().enumerate() {
             let instr = Instr::decode(word)
                 .unwrap_or_else(|e| panic!("{}: word {i} undecodable: {e}", w.name()));
-            assert_eq!(instr.encode(), word, "{}: word {i} ({instr}) re-encodes differently", w.name());
+            assert_eq!(
+                instr.encode(),
+                word,
+                "{}: word {i} ({instr}) re-encodes differently",
+                w.name()
+            );
         }
     }
 }
@@ -33,9 +38,20 @@ fn decoded_text_round_trips_through_encode() {
 fn interpreter_halts_every_workload_within_budget() {
     for w in &ehs_repro::workloads::SUITE {
         let mut vm = Interpreter::new(&w.program());
-        let steps = vm.run(80_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-        assert!(steps > 10_000, "{} suspiciously short ({steps} instructions)", w.name());
-        assert_eq!(vm.reg(Reg::A0), w.reference_checksum(), "{} checksum", w.name());
+        let steps = vm
+            .run(80_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        assert!(
+            steps > 10_000,
+            "{} suspiciously short ({steps} instructions)",
+            w.name()
+        );
+        assert_eq!(
+            vm.reg(Reg::A0),
+            w.reference_checksum(),
+            "{} checksum",
+            w.name()
+        );
     }
 }
 

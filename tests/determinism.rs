@@ -7,14 +7,22 @@ use ehs_repro::sim::{Machine, SimConfig, SimResult};
 
 fn run(cfg: SimConfig) -> SimResult {
     let w = ehs_repro::workloads::by_name("jpegd").unwrap();
-    Machine::with_trace(cfg, &w.program(), TraceKind::RfOffice.synthesize(5, 300_000))
-        .run()
-        .expect("completes")
+    Machine::with_trace(
+        cfg,
+        &w.program(),
+        TraceKind::RfOffice.synthesize(5, 300_000),
+    )
+    .run()
+    .expect("completes")
 }
 
 #[test]
 fn identical_runs_are_bit_identical() {
-    for cfg in [SimConfig::baseline(), SimConfig::ipex_both(), SimConfig::no_prefetch()] {
+    for cfg in [
+        SimConfig::baseline(),
+        SimConfig::ipex_both(),
+        SimConfig::no_prefetch(),
+    ] {
         let a = run(cfg.clone());
         let b = run(cfg);
         assert_eq!(a.stats, b.stats);

@@ -8,13 +8,19 @@ use ehs_repro::sim::{Machine, SimConfig, SimError};
 #[test]
 fn outage_storm_still_produces_correct_checksum() {
     // A sawtooth supply: strong enough to recharge quickly, too weak to
-    // sustain execution for long -> hundreds of outages.
-    let samples: Vec<f64> = (0..1000).map(|i| if i % 5 == 0 { 30.0 } else { 0.2 }).collect();
+    // sustain execution for long -> dozens of outages.
+    let samples: Vec<f64> = (0..1000)
+        .map(|i| if i % 5 == 0 { 10.0 } else { 0.2 })
+        .collect();
     let trace = PowerTrace::from_samples_mw(samples);
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
     let mut m = Machine::with_trace(SimConfig::ipex_both(), &w.program(), trace);
     let r = m.run().expect("survives the storm");
-    assert!(r.stats.power_cycles > 50, "expected an outage storm, got {}", r.stats.power_cycles);
+    assert!(
+        r.stats.power_cycles > 50,
+        "expected an outage storm, got {}",
+        r.stats.power_cycles
+    );
     assert_eq!(m.reg(Reg::A0), w.reference_checksum());
 }
 
@@ -24,7 +30,9 @@ fn dead_supply_reports_cycle_limit_not_hang() {
     let mut cfg = SimConfig::baseline();
     cfg.max_cycles = 2_000_000;
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
-    let err = Machine::with_trace(cfg, &w.program(), trace).run().unwrap_err();
+    let err = Machine::with_trace(cfg, &w.program(), trace)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, SimError::CycleLimit { .. }));
 }
 
@@ -38,7 +46,7 @@ fn tiny_capacitor_still_makes_progress() {
         ..CapacitorConfig::paper_default()
     };
     cfg.max_cycles = 20_000_000_000;
-    let trace = PowerTrace::constant_mw(8.0, 16);
+    let trace = PowerTrace::constant_mw(3.0, 16);
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
     let mut m = Machine::with_trace(cfg, &w.program(), trace);
     let r = m.run().expect("completes eventually");
@@ -54,6 +62,9 @@ fn giant_capacitor_runs_in_one_power_cycle() {
     let r = Machine::with_trace(cfg, &w.program(), SimConfig::default_trace())
         .run()
         .expect("completes");
-    assert_eq!(r.stats.power_cycles, 1, "1000 uF should never see an outage");
+    assert_eq!(
+        r.stats.power_cycles, 1,
+        "1000 uF should never see an outage"
+    );
     assert_eq!(r.energy.backup_restore_nj, 0.0);
 }

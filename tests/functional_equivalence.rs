@@ -10,7 +10,9 @@ use ehs_repro::sim::{Machine, SimConfig};
 
 fn check(workload: &ehs_repro::workloads::Workload, cfg: SimConfig, trace: PowerTrace) {
     let mut m = Machine::with_trace(cfg, &workload.program(), trace);
-    let r = m.run().unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
+    let r = m
+        .run()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
     assert_eq!(
         m.reg(Reg::A0),
         workload.reference_checksum(),
@@ -24,14 +26,22 @@ fn check(workload: &ehs_repro::workloads::Workload, cfg: SimConfig, trace: Power
 fn checksums_survive_intermittent_execution_baseline() {
     // A weak supply so every workload crosses many outages.
     for w in &ehs_repro::workloads::SUITE {
-        check(w, SimConfig::baseline(), TraceKind::RfHome.synthesize(9, 400_000));
+        check(
+            w,
+            SimConfig::baseline(),
+            TraceKind::RfHome.synthesize(9, 400_000),
+        );
     }
 }
 
 #[test]
 fn checksums_survive_intermittent_execution_ipex() {
     for w in &ehs_repro::workloads::SUITE {
-        check(w, SimConfig::ipex_both(), TraceKind::RfHome.synthesize(9, 400_000));
+        check(
+            w,
+            SimConfig::ipex_both(),
+            TraceKind::RfHome.synthesize(9, 400_000),
+        );
     }
 }
 
@@ -46,5 +56,9 @@ fn checksums_survive_under_every_trace_kind() {
 #[test]
 fn checksum_matches_under_steady_power_too() {
     let w = ehs_repro::workloads::by_name("fft").unwrap();
-    check(w, SimConfig::no_prefetch(), PowerTrace::constant_mw(50.0, 8));
+    check(
+        w,
+        SimConfig::no_prefetch(),
+        PowerTrace::constant_mw(50.0, 8),
+    );
 }

@@ -37,7 +37,10 @@ fn ipex_saves_energy_on_prefetch_heavy_workloads() {
         ipex.total_energy_nj(),
         base.total_energy_nj()
     );
-    assert!(ipex.stats.total_cycles < base.stats.total_cycles, "IPEX must be faster on adpcmd");
+    assert!(
+        ipex.stats.total_cycles < base.stats.total_cycles,
+        "IPEX must be faster on adpcmd"
+    );
 }
 
 #[test]

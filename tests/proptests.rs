@@ -34,14 +34,47 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         i3().prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
         i3().prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
         (arb_reg(), arb_imm22()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (arb_reg(), arb_reg(), arb_imm18(), prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)])
-            .prop_map(|(rd, base, offset, width)| Instr::Load { rd, base, offset, width, signed: width != MemWidth::Word }),
-        (arb_reg(), arb_reg(), arb_imm18(), prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)])
-            .prop_map(|(src, base, offset, width)| Instr::Store { src, base, offset, width }),
+        (
+            arb_reg(),
+            arb_reg(),
+            arb_imm18(),
+            prop_oneof![
+                Just(MemWidth::Byte),
+                Just(MemWidth::Half),
+                Just(MemWidth::Word)
+            ]
+        )
+            .prop_map(|(rd, base, offset, width)| Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+                signed: width != MemWidth::Word
+            }),
+        (
+            arb_reg(),
+            arb_reg(),
+            arb_imm18(),
+            prop_oneof![
+                Just(MemWidth::Byte),
+                Just(MemWidth::Half),
+                Just(MemWidth::Word)
+            ]
+        )
+            .prop_map(|(src, base, offset, width)| Instr::Store {
+                src,
+                base,
+                offset,
+                width
+            }),
         i3().prop_map(|(rs1, rs2, offset)| Instr::Beq { rs1, rs2, offset }),
         i3().prop_map(|(rs1, rs2, offset)| Instr::Bgeu { rs1, rs2, offset }),
         (arb_reg(), arb_imm22()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), arb_imm18()).prop_map(|(rd, base, offset)| Instr::Jalr { rd, base, offset }),
+        (arb_reg(), arb_reg(), arb_imm18()).prop_map(|(rd, base, offset)| Instr::Jalr {
+            rd,
+            base,
+            offset
+        }),
         Just(Instr::Halt),
     ]
 }
@@ -113,11 +146,15 @@ proptest! {
         for (op, val) in ops {
             let addr = val * 16;
             match op {
-                0 | 1 => buf.insert(addr, u64::from(val)),
+                0 | 1 => {
+                    let _ = buf.insert(addr, u64::from(val));
+                }
                 2 => {
                     let _ = buf.lookup(addr, 0);
                 }
-                _ => buf.power_loss(),
+                _ => {
+                    let _ = buf.power_loss();
+                }
             }
             prop_assert!(buf.len() <= buf.capacity());
             let s = buf.stats();

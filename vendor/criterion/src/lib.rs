@@ -1,0 +1,97 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API surface the workspace's benches use:
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark warms
+//! up briefly, then runs timed batches and reports the median ns/iter
+//! (median over batches is robust to scheduler noise on CI runners).
+
+// Shim crate: keep clippy quiet rather than polishing stand-in code.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+const BATCHES: usize = 12;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: None };
+        f(&mut b);
+        match b.ns_per_iter {
+            Some(ns) => println!("bench {name:<40} {ns:>12.1} ns/iter"),
+            None => println!("bench {name:<40} (no iter() call)"),
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let ns_estimate = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size batches so each takes roughly MEASURE / BATCHES.
+        let batch_ns = MEASURE.as_nanos() as f64 / BATCHES as f64;
+        let batch_iters = ((batch_ns / ns_estimate) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

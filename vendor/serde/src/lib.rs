@@ -1,0 +1,320 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the subset of serde's surface the workspace uses, built on a
+//! small JSON-like [`Content`] tree instead of serde's visitor machinery:
+//!
+//! * [`Serialize`] — convert a value *to* a `Content` tree,
+//! * [`Deserialize`] — reconstruct a value *from* a `Content` tree,
+//! * `#[derive(Serialize, Deserialize)]` via the vendored `serde_derive`
+//!   (enabled by the `derive` feature, same as real serde),
+//! * impls for the primitive/std types the workspace serializes.
+//!
+//! The companion `serde_json` vendored crate renders `Content` to JSON
+//! text and parses JSON text back into `Content`, matching serde_json's
+//! output format for the shapes used here (externally tagged enums,
+//! `rename_all` handled at derive time, `1.0`-style float formatting).
+
+// Shim crate: keep clippy quiet rather than polishing stand-in code.
+#![allow(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model: a JSON-shaped tree.
+///
+/// Maps preserve insertion order (struct field declaration order), which
+/// keeps serialized output stable and byte-identical across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced during (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn expected(what: &str) -> Self {
+        Error {
+            msg: format!("expected {what}"),
+        }
+    }
+
+    pub fn missing_field(field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` for enum `{ty}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a struct field in a `Content::Map` body (derive helper).
+pub fn map_field<'c>(m: &'c [(String, Content)], field: &str) -> Result<&'c Content, Error> {
+    m.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(field))
+}
+
+/// Serialize a value into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool")),
+        }
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    _ => return Err(Error::expected("unsigned integer")),
+                };
+                <$t>::try_from(v).map_err(|_| Error::expected("in-range unsigned integer"))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => {
+                        i64::try_from(*v).map_err(|_| Error::expected("in-range integer"))?
+                    }
+                    _ => return Err(Error::expected("integer")),
+                };
+                <$t>::try_from(v).map_err(|_| Error::expected("in-range integer"))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(Error::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::expected("sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        <[T; N]>::try_from(v).map_err(|_| Error::expected("array of correct length"))
+    }
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: fmt::Display,
+    V: Serialize,
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::expected("map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}

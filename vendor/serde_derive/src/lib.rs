@@ -1,0 +1,449 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment,
+//! so the workspace vendors a minimal `serde` (see `vendor/serde`) whose
+//! data model is a small JSON-like `Content` tree. This proc-macro crate
+//! derives that crate's `Serialize`/`Deserialize` traits for the type
+//! shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * enums with unit, newtype/tuple, and struct variants
+//!   (externally tagged, like real serde),
+//! * the container attribute `#[serde(rename_all = "kebab-case")]`
+//!   (and `"snake_case"`); other `#[serde(...)]` attributes are ignored.
+//!
+//! No `syn`/`quote` are available offline, so parsing walks the raw
+//! `TokenStream` directly. Generics are not supported (nothing in the
+//! workspace derives on a generic type).
+
+// Shim crate: keep clippy quiet rather than polishing stand-in code.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.impl_serialize()
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.impl_deserialize()
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------
+
+enum Body {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Enum variants: (name, fields). `None` = unit, `Some(Named(..))`
+    /// = struct variant, `Some(Tuple(n))` = tuple variant of arity n.
+    Enum(Vec<(String, VariantFields)>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    body: Body,
+}
+
+/// Applies a container-level `rename_all` rule to a variant name.
+fn apply_rename(rule: Option<&str>, ident: &str) -> String {
+    match rule {
+        Some("kebab-case") => camel_to_separated(ident, '-'),
+        Some("snake_case") => camel_to_separated(ident, '_'),
+        Some("lowercase") => ident.to_lowercase(),
+        Some("UPPERCASE") => ident.to_uppercase(),
+        _ => ident.to_owned(),
+    }
+}
+
+fn camel_to_separated(ident: &str, sep: char) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (i, ch) in ident.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut rename_all = None;
+
+    // Leading attributes (doc comments, #[serde(...)], other derives'
+    // helper attributes) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(rule) = extract_rename_all(g.stream()) {
+                        rename_all = Some(rule);
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive shim does not support generic type `{name}`");
+        }
+    }
+    let body_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!("no braced body found for `{name}`"),
+        }
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("cannot derive for `{other} {name}`"),
+    };
+    Item {
+        name,
+        rename_all,
+        body,
+    }
+}
+
+/// Extracts `rename_all = "..."` from the token stream of a
+/// `#[serde(...)]` attribute group, if present.
+fn extract_rename_all(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    // Shape: serde ( rename_all = "rule" , ... )
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(id) = &inner[j] {
+            if *id.to_string() == *"rename_all" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(j + 1), inner.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        return Some(lit.to_string().trim_matches('"').to_owned());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `name: Type, ...` named-field lists, skipping attributes,
+/// visibility and the type tokens (types may contain `<...>` generics,
+/// grouped `[...]`/`(...)` tokens and `::` paths).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if *id.to_string() == *"pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Track `<`/`>`
+        // nesting manually (they are plain puncts, not groups).
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or past-the-end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, or `Name { f: T, ... }`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantFields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, then parsed back into a TokenStream)
+// ---------------------------------------------------------------------
+
+impl Item {
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(fields) => {
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "m.push((\"{f}\".to_string(), serde::Serialize::to_content(&self.{f})));\n"
+                    ));
+                }
+                format!(
+                    "let mut m: Vec<(String, serde::Content)> = Vec::new();\n{pushes}serde::Content::Map(m)"
+                )
+            }
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for (v, fields) in variants {
+                    let tag = apply_rename(self.rename_all.as_deref(), v);
+                    match fields {
+                        VariantFields::Unit => arms.push_str(&format!(
+                            "{name}::{v} => serde::Content::Str(\"{tag}\".to_string()),\n"
+                        )),
+                        VariantFields::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{v}(f0) => serde::Content::Map(vec![(\"{tag}\".to_string(), serde::Serialize::to_content(f0))]),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let elems: Vec<String> = pats
+                                .iter()
+                                .map(|p| format!("serde::Serialize::to_content({p})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v}({}) => serde::Content::Map(vec![(\"{tag}\".to_string(), serde::Content::Seq(vec![{}]))]),\n",
+                                pats.join(", "),
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantFields::Named(fs) => {
+                            let pats = fs.join(", ");
+                            let mut pushes = String::new();
+                            for f in fs {
+                                pushes.push_str(&format!(
+                                    "fm.push((\"{f}\".to_string(), serde::Serialize::to_content({f})));\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{v} {{ {pats} }} => {{\nlet mut fm: Vec<(String, serde::Content)> = Vec::new();\n{pushes}serde::Content::Map(vec![(\"{tag}\".to_string(), serde::Content::Map(fm))])\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n fn to_content(&self) -> serde::Content {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(fields) => {
+                let mut gets = String::new();
+                for f in fields {
+                    gets.push_str(&format!(
+                        "{f}: serde::Deserialize::from_content(serde::map_field(m, \"{f}\")?)?,\n"
+                    ));
+                }
+                format!(
+                    "let m = c.as_map().ok_or_else(|| serde::Error::expected(\"map for struct {name}\"))?;\nOk({name} {{\n{gets}}})"
+                )
+            }
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for (v, fields) in variants {
+                    let tag = apply_rename(self.rename_all.as_deref(), v);
+                    match fields {
+                        VariantFields::Unit => {
+                            unit_arms.push_str(&format!("\"{tag}\" => Ok({name}::{v}),\n"));
+                        }
+                        VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{tag}\" => Ok({name}::{v}(serde::Deserialize::from_content(v)?)),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let mut elems = String::new();
+                            for k in 0..*n {
+                                elems.push_str(&format!(
+                                    "serde::Deserialize::from_content(seq.get({k}).ok_or_else(|| serde::Error::expected(\"tuple element\"))?)?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{tag}\" => {{\nlet seq = v.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\"))?;\nOk({name}::{v}({elems}))\n}}\n"
+                            ));
+                        }
+                        VariantFields::Named(fs) => {
+                            let mut gets = String::new();
+                            for f in fs {
+                                gets.push_str(&format!(
+                                    "{f}: serde::Deserialize::from_content(serde::map_field(fm, \"{f}\")?)?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{tag}\" => {{\nlet fm = v.as_map().ok_or_else(|| serde::Error::expected(\"map\"))?;\nOk({name}::{v} {{\n{gets}}})\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match c {{\n\
+                     serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                     other => Err(serde::Error::unknown_variant(\"{name}\", other)),\n}},\n\
+                     serde::Content::Map(m) if m.len() == 1 => {{\n\
+                     let (k, v) = &m[0];\nlet _ = v;\n\
+                     match k.as_str() {{\n{data_arms}\
+                     other => Err(serde::Error::unknown_variant(\"{name}\", other)),\n}}\n}},\n\
+                     _ => Err(serde::Error::expected(\"string or single-key map for enum {name}\")),\n}}"
+                )
+            }
+        };
+        format!(
+            "impl serde::Deserialize for {name} {{\n fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+        )
+    }
+}
