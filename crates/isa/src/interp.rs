@@ -138,6 +138,22 @@ impl Interpreter {
         self.mem.len()
     }
 
+    /// A snapshot of the full architectural register file.
+    #[inline]
+    pub fn registers(&self) -> [u32; 16] {
+        self.regs
+    }
+
+    /// FNV-1a digest of the entire memory image.
+    ///
+    /// Used by the differential oracle in `ehs-verify` to compare the
+    /// final memory state of the golden interpreter against the
+    /// cycle-level machine without copying 16 MB around. Chunked over
+    /// 8-byte words so it stays cheap even in debug builds.
+    pub fn mem_digest(&self) -> u64 {
+        mem_digest_of(&self.mem)
+    }
+
     /// Reads a little-endian word from memory (for assertions in tests).
     ///
     /// # Panics
@@ -378,6 +394,32 @@ impl Interpreter {
         }
         Ok(self.executed - start)
     }
+}
+
+/// FNV-1a over 8-byte little-endian chunks (plus a length-tagged tail).
+///
+/// Shared by [`Interpreter::mem_digest`] and the simulator's equivalent
+/// accessor so both sides hash identically.
+pub fn mem_digest_of(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        h ^= w;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(FNV_PRIME);
+        h ^= rem.len() as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 #[cfg(test)]

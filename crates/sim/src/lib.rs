@@ -29,7 +29,7 @@ mod result;
 mod trace;
 
 pub use config::{PrefetchMode, SimConfig, CYCLES_PER_TRACE_SAMPLE};
-pub use machine::{Machine, SimError};
+pub use machine::{FaultPlan, Machine, SimError};
 pub use result::{SimResult, SimStats};
 pub use trace::{
     CountingSink, EventCounts, JsonlSink, NullSink, PathId, SimEvent, TraceMode, TraceSink, Tracer,

@@ -49,6 +49,20 @@ impl From<ExecError> for SimError {
     }
 }
 
+/// Deliberate consistency faults, injected for verification only.
+///
+/// The `ehs-verify` crate uses this to prove that its differential
+/// oracle and trace shrinker actually catch crash-consistency bugs: a
+/// machine configured to skip one register on restore must diverge from
+/// the golden interpreter, and the fuzzer must minimize the triggering
+/// power trace. A default (all-`None`) plan leaves behaviour untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// After each restore, zero this register instead of restoring it
+    /// (writes to `zero` are discarded, so pick any other register).
+    pub skip_restore_reg: Option<ehs_isa::Reg>,
+}
+
 /// One side (instruction or data) of the memory hierarchy.
 struct MemPath {
     cache: Cache,
@@ -113,6 +127,8 @@ pub struct Machine {
     tracer: Tracer,
     /// Power-cycle statistics mark for summary events.
     mark: CycleMark,
+    /// Injected consistency faults (verification only; default none).
+    fault: FaultPlan,
 }
 
 impl Machine {
@@ -183,8 +199,15 @@ impl Machine {
             cand: Vec::with_capacity(8),
             tracer: Tracer::from_mode(&cfg.trace),
             mark: CycleMark::default(),
+            fault: FaultPlan::default(),
             cfg,
         }
+    }
+
+    /// Installs a deliberate consistency fault (see [`FaultPlan`]).
+    /// Verification tooling only; call before [`Machine::run`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     /// Replaces the tracer with one forwarding to `sink` (enables
@@ -214,6 +237,22 @@ impl Machine {
     /// check a workload's checksum (`a0`) after [`Machine::run`].
     pub fn reg(&self, r: ehs_isa::Reg) -> u32 {
         self.interp.reg(r)
+    }
+
+    /// A snapshot of the simulated core's full register file.
+    pub fn registers(&self) -> [u32; 16] {
+        self.interp.registers()
+    }
+
+    /// The simulated core's program counter.
+    pub fn pc(&self) -> u32 {
+        self.interp.pc()
+    }
+
+    /// FNV-1a digest of the simulated memory image (see
+    /// [`ehs_isa::Interpreter::mem_digest`]).
+    pub fn mem_digest(&self) -> u64 {
+        self.interp.mem_digest()
     }
 
     /// Instructions retired so far.
@@ -345,15 +384,25 @@ impl Machine {
         } else {
             None
         };
-        if let Some(reissue) = path.throttle.observe_voltage(v) {
+        let reissue = path.throttle.observe_voltage(v);
+        // The controller only returns a list when the §5.1 reissue
+        // extension drains its queue, so degree changes are detected by
+        // comparing Rcpd around the update rather than from the return
+        // value (otherwise crossings would go untraced under the default
+        // `reissue_throttled: false`).
+        if tracer.is_enabled() {
             let new_degree = path.throttle.current_degree();
-            tracer.emit_with(|| SimEvent::ThresholdCross {
-                cycle: now,
-                path: pid,
-                voltage: v,
-                old_degree: old_degree.unwrap_or(0),
-                new_degree: new_degree.unwrap_or(0),
-            });
+            if new_degree != old_degree {
+                tracer.emit_with(|| SimEvent::ThresholdCross {
+                    cycle: now,
+                    path: pid,
+                    voltage: v,
+                    old_degree: old_degree.unwrap_or(0),
+                    new_degree: new_degree.unwrap_or(0),
+                });
+            }
+        }
+        if let Some(reissue) = reissue {
             for block in reissue {
                 tracer.emit_with(|| SimEvent::PrefetchReissued {
                     cycle: now,
@@ -641,6 +690,11 @@ impl Machine {
             self.cap.consume_nj(restore);
             self.cycle += self.cfg.restore_cycles;
             self.stats.off_cycles += self.cfg.restore_cycles;
+            if let Some(r) = self.fault.skip_restore_reg {
+                // Injected bug: this register's NVFF "failed", so it
+                // comes back as zero instead of its checkpointed value.
+                self.interp.set_reg(r, 0);
+            }
         }
         self.nvm.power_cycle_reset(self.cycle);
         self.ipath.throttle.on_reboot();

@@ -1,0 +1,124 @@
+//! The regression corpus: fuzz-found traces committed as JSON.
+//!
+//! Every interesting trace the fuzzer surfaces (shrunk reproducers of
+//! fixed bugs, or near-miss adversarial traces worth pinning) is saved
+//! as a [`CorpusCase`] under `tests/corpus/*.json` and replayed by a
+//! tier-1 test, so the differential property is re-proven on each of
+//! them forever.
+
+use serde::{Deserialize, Serialize};
+
+use ehs_sim::FaultPlan;
+
+use crate::oracle::{check_workload, CheckOutcome, ConfigId};
+
+/// One committed regression case: a workload, a configuration and the
+/// power trace that once made the pair interesting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusCase {
+    /// Unique case name (conventionally the file stem).
+    pub name: String,
+    /// Why this trace is in the corpus.
+    pub description: String,
+    /// Suite workload name (see `ehs_workloads::by_name`).
+    pub workload: String,
+    /// Configuration name (see [`ConfigId::from_name`]).
+    pub config: String,
+    /// The power trace, mW per 10 µs sample.
+    pub samples_mw: Vec<f64>,
+}
+
+impl CorpusCase {
+    /// Serializes to pretty JSON (the committed on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("corpus case serializes")
+    }
+
+    /// Parses the on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first JSON or schema problem.
+    pub fn from_json(s: &str) -> Result<CorpusCase, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Loads one case from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or parse failure.
+    pub fn load(path: &std::path::Path) -> Result<CorpusCase, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        CorpusCase::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Loads every `*.json` case in `dir`, sorted by file name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first failure; an empty or missing
+    /// directory is an error too (a silently empty corpus checks
+    /// nothing).
+    pub fn load_dir(dir: &std::path::Path) -> Result<Vec<CorpusCase>, String> {
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("{}: no corpus cases found", dir.display()));
+        }
+        paths.iter().map(|p| CorpusCase::load(p)).collect()
+    }
+
+    /// Replays the case through the differential oracle (invariant sink
+    /// attached), optionally with an injected fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case names an unknown workload or configuration.
+    pub fn replay(&self, fault: Option<FaultPlan>) -> CheckOutcome {
+        let w = ehs_workloads::by_name(&self.workload).unwrap_or_else(|| {
+            panic!(
+                "corpus case {}: unknown workload {}",
+                self.name, self.workload
+            )
+        });
+        let config = ConfigId::from_name(&self.config)
+            .unwrap_or_else(|| panic!("corpus case {}: unknown config {}", self.name, self.config));
+        let trace = ehs_energy::PowerTrace::from_samples_mw(self.samples_mw.clone());
+        check_workload(w, &config.build(), &trace, fault, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_case() -> CorpusCase {
+        CorpusCase {
+            name: "example".into(),
+            description: "round-trip fixture".into(),
+            workload: "strings".into(),
+            config: "baseline".into(),
+            samples_mw: vec![5.0, 0.25, 35.0],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let case = sample_case();
+        let back = CorpusCase::from_json(&case.to_json()).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn replay_of_a_healthy_case_matches() {
+        let mut case = sample_case();
+        // Strong enough to finish quickly, weak enough to outage.
+        case.samples_mw = vec![6.0, 6.0, 0.2, 30.0];
+        assert!(case.replay(None).is_match());
+    }
+}

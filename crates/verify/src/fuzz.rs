@@ -1,0 +1,260 @@
+//! Adversarial outage fuzzing.
+//!
+//! Each iteration draws a workload, a controller configuration and a
+//! synthesized *pathological* power trace from a seeded PRNG, runs the
+//! machine with the invariant sink attached, and cross-checks the final
+//! architectural state against the golden interpreter. The strategies
+//! target the failure windows an adversary would: outages landing in
+//! backup/restore windows, single-sample brownouts, and supplies
+//! hovering exactly at the IPEX voltage thresholds (~13–14.5 mW puts the
+//! capacitor right at the 3.3 V / 3.25 V ladder under the paper's
+//! default draw).
+//!
+//! Every trace ends with a strong recovery tail, so the (cyclic) trace
+//! always recharges the capacitor eventually and runs terminate; a run
+//! that still exceeds the per-iteration cycle budget is counted
+//! *inconclusive*, not failing.
+
+use ehs_sim::FaultPlan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::oracle::{check_program, golden_state, ArchState, CheckOutcome, ConfigId, Divergence};
+use crate::run_parallel;
+
+/// Fuzzer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzOptions {
+    /// PRNG seed; every iteration derives its own deterministic stream,
+    /// so reports are reproducible regardless of thread interleaving.
+    pub seed: u64,
+    /// Number of iterations (machine runs).
+    pub iters: u64,
+    /// Optional injected consistency bug (verifying the verifier).
+    pub fault: Option<FaultPlan>,
+    /// Attach the invariant sink to every run.
+    pub check_invariants: bool,
+    /// Per-run cycle budget; exceeding it is inconclusive.
+    pub max_cycles: u64,
+}
+
+impl FuzzOptions {
+    /// Defaults for a seed: invariants on, no fault, 2 G-cycle budget.
+    pub fn new(seed: u64, iters: u64) -> FuzzOptions {
+        FuzzOptions {
+            seed,
+            iters,
+            fault: None,
+            check_invariants: true,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// The reproducer for one fuzz iteration.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Iteration index (with the seed, fully identifies the case).
+    pub iter: u64,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Controller configuration.
+    pub config: ConfigId,
+    /// Trace-synthesis strategy that produced the samples.
+    pub strategy: &'static str,
+    /// The power trace, mW per 10 µs sample.
+    pub samples_mw: Vec<f64>,
+}
+
+/// A fuzz iteration whose run diverged from the oracle.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The reproducer.
+    pub case: FuzzCase,
+    /// What disagreed.
+    pub divergence: Divergence,
+}
+
+/// Summary of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations run.
+    pub iters: u64,
+    /// Runs that matched the oracle (and held every invariant).
+    pub matched: u64,
+    /// Runs that could not finish within the cycle budget.
+    pub inconclusive: u64,
+    /// Divergent runs, with reproducers.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Strong samples appended to every synthesized trace so the cyclic
+/// supply always recharges the capacitor and runs terminate.
+const RECOVERY_TAIL: usize = 40;
+const RECOVERY_MW: f64 = 35.0;
+
+/// Synthesizes one adversarial power trace; returns the strategy name
+/// and the samples (mW per 10 µs).
+pub fn adversarial_trace(rng: &mut StdRng) -> (&'static str, Vec<f64>) {
+    let strategy = rng.gen_range(0u32..5);
+    let len = rng.gen_range(60usize..240);
+    let mut samples = Vec::with_capacity(len + RECOVERY_TAIL);
+    match strategy {
+        // Single-sample brownouts punched into a healthy supply.
+        0 => {
+            let base = rng.gen_range(18.0..45.0);
+            for _ in 0..len {
+                if rng.gen_bool(0.08) {
+                    samples.push(rng.gen_range(0.0..2.0));
+                } else {
+                    samples.push(base + rng.gen_range(-3.0..3.0));
+                }
+            }
+        }
+        // Hovering at the IPEX thresholds: harvest ≈ draw keeps the
+        // capacitor oscillating across the 3.3 V / 3.25 V ladder.
+        1 => {
+            let base = rng.gen_range(12.5..15.0);
+            for _ in 0..len {
+                let dip = if rng.gen_bool(0.03) {
+                    -rng.gen_range(5.0..12.0)
+                } else {
+                    0.0
+                };
+                samples.push((base + rng.gen_range(-0.8..0.8) + dip).max(0.0));
+            }
+        }
+        // Outage storm: a weak sawtooth with a random strong period.
+        2 => {
+            let period = rng.gen_range(2usize..9);
+            let strong = rng.gen_range(8.0..20.0);
+            for i in 0..len {
+                if i % period == 0 {
+                    samples.push(strong);
+                } else {
+                    samples.push(rng.gen_range(0.0..1.0));
+                }
+            }
+        }
+        // Backup-window attack: dips timed to land while the capacitor
+        // is between V_backup and V_on — right as checkpoints/restores
+        // are in progress.
+        3 => {
+            let period = rng.gen_range(5usize..40);
+            let width = rng.gen_range(1usize..4);
+            let base = rng.gen_range(15.0..30.0);
+            for i in 0..len {
+                if i % period < width {
+                    samples.push(rng.gen_range(0.0..3.0));
+                } else {
+                    samples.push(base);
+                }
+            }
+        }
+        // Random walk clamped to [0, 40] mW.
+        _ => {
+            let mut level = rng.gen_range(5.0..30.0);
+            for _ in 0..len {
+                level = (level + rng.gen_range(-3.0..3.0)).clamp(0.0, 40.0);
+                samples.push(level);
+            }
+        }
+    }
+    samples.extend(std::iter::repeat_n(RECOVERY_MW, RECOVERY_TAIL));
+    let name = match strategy {
+        0 => "brownout",
+        1 => "threshold-hover",
+        2 => "storm",
+        3 => "backup-window",
+        _ => "random-walk",
+    };
+    (name, samples)
+}
+
+/// Derives the deterministic RNG for iteration `iter` of `seed`.
+fn iter_rng(seed: u64, iter: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+}
+
+/// Runs a fuzzing campaign; iterations execute in parallel but the
+/// report is deterministic in `opts.seed`.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let suite = &ehs_workloads::SUITE;
+    let mem_bytes = ConfigId::Baseline.build().nvm.size_bytes as usize;
+    // One golden (functional) run per workload, shared by every
+    // iteration.
+    let golden: Vec<(ehs_isa::Program, Result<ArchState, ehs_isa::ExecError>)> =
+        run_parallel(suite, |w| {
+            let p = w.program();
+            let g = golden_state(&p, mem_bytes);
+            (p, g)
+        });
+    let iters: Vec<u64> = (0..opts.iters).collect();
+    let outcomes = run_parallel(&iters, |&iter| {
+        let mut rng = iter_rng(opts.seed, iter);
+        let wi = rng.gen_range(0usize..suite.len());
+        let config = ConfigId::ALL[rng.gen_range(0usize..ConfigId::ALL.len())];
+        let (strategy, samples_mw) = adversarial_trace(&mut rng);
+        let mut cfg = config.build();
+        cfg.max_cycles = cfg.max_cycles.min(opts.max_cycles);
+        let trace = ehs_energy::PowerTrace::from_samples_mw(samples_mw.clone());
+        let (program, gold) = &golden[wi];
+        let outcome = check_program(
+            program,
+            gold,
+            &cfg,
+            &trace,
+            opts.fault,
+            opts.check_invariants,
+        );
+        let case = FuzzCase {
+            iter,
+            workload: suite[wi].name(),
+            config,
+            strategy,
+            samples_mw,
+        };
+        (case, outcome)
+    });
+    let mut report = FuzzReport {
+        iters: opts.iters,
+        ..FuzzReport::default()
+    };
+    for (case, outcome) in outcomes {
+        match outcome {
+            CheckOutcome::Match => report.matched += 1,
+            CheckOutcome::Inconclusive(_) => report.inconclusive += 1,
+            CheckOutcome::Diverged(divergence) => {
+                report.failures.push(FuzzFailure { case, divergence })
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed_and_end_strong() {
+        let (na, a) = adversarial_trace(&mut iter_rng(7, 3));
+        let (nb, b) = adversarial_trace(&mut iter_rng(7, 3));
+        assert_eq!(na, nb);
+        assert_eq!(a, b);
+        assert!(a.len() >= RECOVERY_TAIL);
+        assert!(a[a.len() - RECOVERY_TAIL..]
+            .iter()
+            .all(|&s| s == RECOVERY_MW));
+        let (_, c) = adversarial_trace(&mut iter_rng(7, 4));
+        assert_ne!(a, c, "different iterations draw different traces");
+    }
+
+    #[test]
+    fn samples_are_valid_power_levels() {
+        for iter in 0..20 {
+            let (_, s) = adversarial_trace(&mut iter_rng(11, iter));
+            assert!(s.iter().all(|&x| (0.0..=50.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Delta-debugging (ddmin) minimization of failing power traces.
+//!
+//! Given a sample vector that reproduces a failure (as judged by a
+//! caller-supplied predicate — typically "the oracle still reports a
+//! divergence"), [`shrink_trace`] removes contiguous chunks at
+//! progressively finer granularity until no single removal reproduces,
+//! returning the shortest vector found within the run budget.
+
+/// Minimizes `samples` while `reproduces` stays true.
+///
+/// `budget` bounds the number of predicate evaluations (each is a full
+/// machine run, so callers keep this small in debug builds). The input
+/// itself is assumed to reproduce; the result always does, is never
+/// empty, and is no longer than the input.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn shrink_trace(
+    samples: &[f64],
+    budget: usize,
+    mut reproduces: impl FnMut(&[f64]) -> bool,
+) -> Vec<f64> {
+    assert!(!samples.is_empty(), "cannot shrink an empty trace");
+    let mut current = samples.to_vec();
+    let mut runs = 0usize;
+    let mut try_candidate = |cand: &[f64], runs: &mut usize| -> bool {
+        if cand.is_empty() || *runs >= budget {
+            return false;
+        }
+        *runs += 1;
+        reproduces(cand)
+    };
+
+    // Cheap first pass: binary-search the shortest reproducing prefix
+    // (outage bugs usually trigger early; the tail is dead weight).
+    let mut lo = 1usize;
+    let mut hi = current.len();
+    while lo < hi && runs < budget {
+        let mid = lo + (hi - lo) / 2;
+        if try_candidate(&current[..mid], &mut runs) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if hi < current.len() && try_candidate(&current[..hi], &mut runs) {
+        current.truncate(hi);
+    }
+
+    // Classic ddmin over contiguous chunks.
+    let mut n = 2usize;
+    while current.len() > 1 && runs < budget {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && runs < budget {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<f64> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if try_candidate(&candidate, &mut runs) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart scanning the (shorter) vector.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_sample() {
+        // Failure reproduces whenever the trace still contains the 7.0.
+        let samples: Vec<f64> = (0..64).map(|i| if i == 37 { 7.0 } else { 1.0 }).collect();
+        let out = shrink_trace(&samples, 500, |s| s.contains(&7.0));
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn respects_the_run_budget() {
+        let samples = vec![1.0; 256];
+        let mut calls = 0usize;
+        let out = shrink_trace(&samples, 10, |_| {
+            calls += 1;
+            true
+        });
+        assert!(calls <= 10);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn keeps_a_pair_that_must_stay_together() {
+        // Reproduces only while both markers survive.
+        let mut samples = vec![1.0; 100];
+        samples[10] = 5.0;
+        samples[90] = 9.0;
+        let out = shrink_trace(&samples, 800, |s| s.contains(&5.0) && s.contains(&9.0));
+        assert!(out.contains(&5.0) && out.contains(&9.0));
+        assert!(out.len() <= 4, "near-minimal: {out:?}");
+    }
+}

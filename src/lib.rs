@@ -11,7 +11,9 @@
 //! * [`energy`] — capacitor, power traces and energy accounting,
 //! * [`ipex`] — the paper's contribution: the intermittence-aware
 //!   prefetching extension,
-//! * [`sim`] — the cycle-level nonvolatile-processor simulator.
+//! * [`sim`] — the cycle-level nonvolatile-processor simulator,
+//! * [`verify`] — the differential oracle, adversarial outage fuzzer
+//!   and invariant checkers guarding the simulator's correctness.
 //!
 //! ```
 //! use ehs_repro::sim::{Machine, SimConfig};
@@ -28,5 +30,6 @@ pub use ehs_isa as isa;
 pub use ehs_mem as mem;
 pub use ehs_prefetch as prefetch;
 pub use ehs_sim as sim;
+pub use ehs_verify as verify;
 pub use ehs_workloads as workloads;
 pub use ipex;

@@ -1,29 +1,40 @@
 //! Cross-crate integration: the cycle-level simulator must preserve each
 //! workload's architectural result across power failures — the whole
-//! point of the NVSRAMCache crash-consistency model. Every workload's
-//! checksum must match its reference model even when execution is
-//! chopped into dozens of power cycles.
+//! point of the NVSRAMCache crash-consistency model. The comparison is
+//! the full differential oracle from `ehs-verify`: every register plus
+//! an FNV-1a digest of the entire memory image must match the golden
+//! interpreter, even when execution is chopped into dozens of power
+//! cycles — not just the `a0` checksum, which could mask corruption in
+//! memory the checksum never reads back.
 
 use ehs_repro::energy::{PowerTrace, TraceKind};
 use ehs_repro::isa::Reg;
-use ehs_repro::sim::{Machine, SimConfig};
+use ehs_repro::sim::SimConfig;
+use ehs_repro::verify::oracle::{check_program, golden_state};
 
+/// Golden-runs the workload, sanity-checks the reference checksum, then
+/// machine-runs it and demands full architectural equality (all 16
+/// registers, final pc, memory digest) with the invariant sink attached.
 fn check(workload: &ehs_repro::workloads::Workload, cfg: SimConfig, trace: PowerTrace) {
-    let mut m = Machine::with_trace(cfg, &workload.program(), trace);
-    let r = m
-        .run()
-        .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
+    let program = workload.program();
+    let golden = golden_state(&program, cfg.nvm.size_bytes as usize)
+        .unwrap_or_else(|e| panic!("{}: golden run faulted: {e}", workload.name()));
     assert_eq!(
-        m.reg(Reg::A0),
+        golden.regs[Reg::A0.index()],
         workload.reference_checksum(),
-        "{}: checksum corrupted across {} power cycles",
-        workload.name(),
-        r.stats.power_cycles
+        "{}: golden model disagrees with the reference checksum",
+        workload.name()
+    );
+    let outcome = check_program(&program, &Ok(golden), &cfg, &trace, None, true);
+    assert!(
+        outcome.is_match(),
+        "{}: architectural state corrupted across power cycles: {outcome:?}",
+        workload.name()
     );
 }
 
 #[test]
-fn checksums_survive_intermittent_execution_baseline() {
+fn full_state_survives_intermittent_execution_baseline() {
     // A weak supply so every workload crosses many outages.
     for w in &ehs_repro::workloads::SUITE {
         check(
@@ -35,7 +46,7 @@ fn checksums_survive_intermittent_execution_baseline() {
 }
 
 #[test]
-fn checksums_survive_intermittent_execution_ipex() {
+fn full_state_survives_intermittent_execution_ipex() {
     for w in &ehs_repro::workloads::SUITE {
         check(
             w,
@@ -46,7 +57,7 @@ fn checksums_survive_intermittent_execution_ipex() {
 }
 
 #[test]
-fn checksums_survive_under_every_trace_kind() {
+fn full_state_survives_under_every_trace_kind() {
     let w = ehs_repro::workloads::by_name("rijndaele").unwrap();
     for kind in TraceKind::ALL {
         check(w, SimConfig::ipex_both(), kind.synthesize(3, 400_000));
@@ -54,7 +65,7 @@ fn checksums_survive_under_every_trace_kind() {
 }
 
 #[test]
-fn checksum_matches_under_steady_power_too() {
+fn full_state_matches_under_steady_power_too() {
     let w = ehs_repro::workloads::by_name("fft").unwrap();
     check(
         w,

@@ -5,6 +5,68 @@ use proptest::prelude::*;
 use ehs_repro::energy::{Capacitor, CapacitorConfig, PowerTrace};
 use ehs_repro::isa::{Instr, MemWidth, Reg};
 use ehs_repro::mem::{block_of, Cache, CacheConfig, PrefetchBuffer, BLOCK_SIZE};
+use ehs_repro::prefetch::{
+    AccessEvent, AccessOutcome, DataPrefetcherKind, InstPrefetcherKind, Prefetcher,
+};
+
+/// An arbitrary demand-access event; instruction prefetchers only look at
+/// the pc, so the same stream works for both trains.
+fn arb_event() -> impl Strategy<Value = AccessEvent> {
+    let outcome = prop_oneof![
+        Just(AccessOutcome::CacheHit),
+        Just(AccessOutcome::BufferHit),
+        Just(AccessOutcome::Miss),
+    ];
+    (
+        0u32..0x400,
+        0u32..0x2000,
+        outcome,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, addr, outcome, is_write, is_data)| {
+            // Word-aligned pcs, byte-granular data addresses.
+            if is_data {
+                AccessEvent::data(pc * 4, addr, outcome, is_write)
+            } else {
+                AccessEvent::fetch(pc * 4, outcome)
+            }
+        })
+}
+
+/// Replays `events` through `p` and returns the concatenated candidate
+/// stream (with per-event boundaries, so interleavings can't alias).
+fn candidate_stream(p: &mut dyn Prefetcher, events: &[AccessEvent]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut stream = Vec::with_capacity(events.len());
+    for e in events {
+        out.clear();
+        p.observe(e, &mut out);
+        stream.push(out.clone());
+    }
+    stream
+}
+
+/// Checks that after `power_loss` the prefetcher behaves exactly like a
+/// freshly built one: all volatile training state (tables, histories,
+/// learned offsets) must be gone, per the paper's volatile-metadata
+/// model.
+fn assert_power_loss_wipes(
+    build: &dyn Fn() -> Box<dyn Prefetcher>,
+    warmup: &[AccessEvent],
+    probe: &[AccessEvent],
+) {
+    let mut survivor = build();
+    let _ = candidate_stream(survivor.as_mut(), warmup);
+    survivor.power_loss();
+    let mut fresh = build();
+    assert_eq!(
+        candidate_stream(survivor.as_mut(), probe),
+        candidate_stream(fresh.as_mut(), probe),
+        "{}: training state survived power loss",
+        survivor.name()
+    );
+}
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
@@ -170,6 +232,43 @@ proptest! {
         prop_assert_eq!(back.len(), t.len());
         for i in 0..t.len() as u64 {
             prop_assert!((back.power_mw_at(i) - t.power_mw_at(i)).abs() < 1e-5);
+        }
+    }
+
+    /// `power_loss` fully wipes every instruction prefetcher's volatile
+    /// state: after a wipe, the candidate stream on any subsequent
+    /// access sequence equals a fresh prefetcher's.
+    #[test]
+    fn inst_prefetcher_power_loss_wipes_all_state(
+        warmup in proptest::collection::vec(arb_event(), 0..120),
+        probe in proptest::collection::vec(arb_event(), 1..120),
+        degree in 1u32..5,
+    ) {
+        for kind in [
+            InstPrefetcherKind::None,
+            InstPrefetcherKind::Sequential,
+            InstPrefetcherKind::Markov,
+            InstPrefetcherKind::Tifs,
+        ] {
+            assert_power_loss_wipes(&|| kind.build(degree), &warmup, &probe);
+        }
+    }
+
+    /// Same property for every data prefetcher kind.
+    #[test]
+    fn data_prefetcher_power_loss_wipes_all_state(
+        warmup in proptest::collection::vec(arb_event(), 0..120),
+        probe in proptest::collection::vec(arb_event(), 1..120),
+        degree in 1u32..5,
+    ) {
+        for kind in [
+            DataPrefetcherKind::None,
+            DataPrefetcherKind::Stride,
+            DataPrefetcherKind::Ghb,
+            DataPrefetcherKind::BestOffset,
+            DataPrefetcherKind::Ampm,
+        ] {
+            assert_power_loss_wipes(&|| kind.build(degree), &warmup, &probe);
         }
     }
 

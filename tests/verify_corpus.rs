@@ -1,0 +1,145 @@
+//! Regression corpus replay + verifier-of-the-verifier.
+//!
+//! Every committed case under `tests/corpus/*.json` is a fuzz-derived
+//! adversarial power trace; replaying it through the differential oracle
+//! (invariant sink attached) must produce a full architectural match.
+//! A second test deliberately injects a restore-consistency bug and
+//! checks that the oracle catches it and the shrinker minimizes the
+//! reproducing trace to a handful of samples — proving the verification
+//! stack would notice a real crash-consistency regression.
+
+use std::path::Path;
+
+use ehs_repro::isa::Reg;
+use ehs_repro::sim::FaultPlan;
+use ehs_repro::verify::{run_parallel, shrink_trace, CheckOutcome, CorpusCase};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_with_full_architectural_match() {
+    let cases = CorpusCase::load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        cases.len() >= 4,
+        "corpus unexpectedly small: {}",
+        cases.len()
+    );
+    let outcomes = run_parallel(&cases, |case| (case.name.clone(), case.replay(None)));
+    for (name, outcome) in outcomes {
+        assert!(
+            outcome.is_match(),
+            "corpus case {name} no longer matches: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_restore_fault_is_caught_and_shrunk() {
+    // The deliberate bug: one register's nonvolatile flip-flop "fails",
+    // so it restores as zero after every outage. The storm case from the
+    // corpus exercises plenty of restores.
+    let case = CorpusCase::load(&corpus_dir().join("storm-strings-ipex-both.json"))
+        .expect("storm case exists");
+    let fault = FaultPlan {
+        skip_restore_reg: Some(Reg::Sp),
+    };
+    let outcome = case.replay(Some(fault));
+    let CheckOutcome::Diverged(d) = &outcome else {
+        panic!("injected fault went unnoticed: {outcome:?}");
+    };
+    assert!(
+        d.regs.iter().any(|&(r, _, _)| r == Reg::Sp) || d.pc.is_some() || d.mem_digest.is_some(),
+        "divergence does not implicate the faulted register: {d}"
+    );
+
+    // The shrinker must reduce the reproducing trace to a short vector
+    // (acceptance bar: at most 50 samples) within a small run budget.
+    let shrunk = shrink_trace(&case.samples_mw, 48, |cand| {
+        let mut c = case.clone();
+        c.samples_mw = cand.to_vec();
+        c.replay(Some(fault)).is_divergence()
+    });
+    assert!(
+        shrunk.len() <= 50,
+        "shrinker left {} samples (wanted <= 50)",
+        shrunk.len()
+    );
+    // And the shrunk trace still reproduces.
+    let mut small = case.clone();
+    small.samples_mw = shrunk;
+    assert!(small.replay(Some(fault)).is_divergence());
+}
+
+/// Regenerates the committed corpus deterministically. Not part of the
+/// test run: `cargo test --test verify_corpus -- --ignored regenerate`
+/// rewrites `tests/corpus/*.json` after a change to the trace
+/// synthesizer or the on-disk schema.
+#[test]
+#[ignore = "writes tests/corpus; run explicitly to regenerate"]
+fn regenerate_corpus() {
+    use ehs_repro::verify::fuzz::adversarial_trace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // (file stem, wanted strategy, workload, config): one pin per
+    // adversarial synthesis strategy, on quick workloads so the debug
+    // replay test stays fast.
+    let wanted = [
+        ("storm-strings-ipex-both", "storm", "strings", "ipex_both"),
+        (
+            "brownout-strings-baseline",
+            "brownout",
+            "strings",
+            "baseline",
+        ),
+        (
+            "threshold-hover-gsmd-ipex-i",
+            "threshold-hover",
+            "gsmd",
+            "ipex_i",
+        ),
+        (
+            "backup-window-gsmd-ipex-d",
+            "backup-window",
+            "gsmd",
+            "ipex_d",
+        ),
+        (
+            "random-walk-susanc-ipex-both",
+            "random-walk",
+            "susanc",
+            "ipex_both",
+        ),
+    ];
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (stem, strategy, workload, config) in wanted {
+        // Walk a deterministic stream until the strategy comes up.
+        let mut rng = StdRng::seed_from_u64(ehs_repro::verify::parse_seed("0xEHS"));
+        let samples = loop {
+            let (s, samples) = adversarial_trace(&mut rng);
+            if s == strategy {
+                break samples;
+            }
+        };
+        let case = CorpusCase {
+            name: stem.to_string(),
+            description: format!(
+                "fuzz `{strategy}` strategy pinned on {workload}/{config} \
+                 (seed 0xEHS); must replay to a full architectural match"
+            ),
+            workload: workload.to_string(),
+            config: config.to_string(),
+            samples_mw: samples,
+        };
+        assert!(
+            case.replay(None).is_match(),
+            "candidate corpus case {stem} does not match"
+        );
+        let path = dir.join(format!("{stem}.json"));
+        std::fs::write(&path, case.to_json() + "\n").expect("write corpus case");
+        println!("wrote {}", path.display());
+    }
+}
