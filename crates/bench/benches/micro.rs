@@ -10,7 +10,7 @@ use ehs_mem::{Cache, CacheConfig, PrefetchBuffer};
 use ehs_prefetch::{
     AccessEvent, AccessOutcome, Prefetcher, SequentialPrefetcher, StridePrefetcher,
 };
-use ehs_sim::{Machine, SimConfig, TraceMode};
+use ehs_sim::{Ipex, Machine, SimConfig, TraceMode};
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/access_hit", |b| {
@@ -87,7 +87,7 @@ fn bench_machine(c: &mut Criterion) {
     let trace = PowerTrace::constant_mw(50.0, 16);
     c.bench_function("sim/machine_60k_cycles", |b| {
         b.iter(|| {
-            let mut cfg = SimConfig::ipex_both();
+            let mut cfg = SimConfig::builder().ipex(Ipex::Both).build();
             cfg.max_cycles = 60_000;
             let mut m = Machine::with_trace(cfg, &program, trace.clone());
             let _ = m.run(); // hits the cycle budget; that is the point
@@ -104,7 +104,10 @@ fn bench_tracing(c: &mut Criterion) {
     let program = ehs_workloads::by_name("gsmd").unwrap().program();
     let trace = PowerTrace::constant_mw(50.0, 16);
     let run = |mode: TraceMode| {
-        let mut cfg = SimConfig::ipex_both().with_trace_mode(mode);
+        let mut cfg = SimConfig::builder()
+            .ipex(Ipex::Both)
+            .build()
+            .with_trace_mode(mode);
         cfg.max_cycles = 60_000;
         let mut m = Machine::with_trace(cfg, &program, trace.clone());
         let _ = m.run();

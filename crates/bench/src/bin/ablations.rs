@@ -1,49 +1,6 @@
-//! Design-choice ablations called out in DESIGN.md (beyond the paper's
-//! own figures): fixed vs adaptive thresholds, and the Section 5.1
-//! reissue-on-recovery extension (the paper's future work).
-
-use ehs_bench::run_sweep;
-use ehs_sim::{PrefetchMode, SimConfig};
-use ipex::IpexConfig;
+//! The design-choice ablation sweep, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let variants: Vec<(&str, IpexConfig)> = vec![
-        ("adaptive (default)", IpexConfig::paper_default()),
-        (
-            "fixed thresholds",
-            IpexConfig {
-                adaptive_thresholds: false,
-                ..IpexConfig::paper_default()
-            },
-        ),
-        (
-            "reissue extension",
-            IpexConfig {
-                reissue_throttled: true,
-                ..IpexConfig::paper_default()
-            },
-        ),
-        (
-            "fixed + reissue",
-            IpexConfig {
-                adaptive_thresholds: false,
-                reissue_throttled: true,
-                ..IpexConfig::paper_default()
-            },
-        ),
-    ];
-    let points = variants
-        .into_iter()
-        .map(|(label, ic)| {
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
-                    c.inst_mode = PrefetchMode::Ipex(ic);
-                    c.data_mode = PrefetchMode::Ipex(ic);
-                }
-            });
-            (label.to_owned(), f)
-        })
-        .collect();
-    run_sweep("ablations", "IPEX design ablations", &trace, points);
+    ehs_bench::figures::run_standalone("ablations");
 }

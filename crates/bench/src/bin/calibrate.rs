@@ -4,17 +4,17 @@
 //! a development aid.
 
 use ehs_bench::{banner, gmean, pct, run_suite, speedups};
-use ehs_sim::SimConfig;
+use ehs_sim::prelude::*;
 
 fn main() {
     banner("calibrate", "headline metrics, RFHome trace");
-    let trace = SimConfig::default_trace();
+    let trace = SimConfig::default_trace_spec();
 
     let t0 = std::time::Instant::now();
-    let no_pf = run_suite(&SimConfig::no_prefetch(), &trace);
-    let base = run_suite(&SimConfig::baseline(), &trace);
-    let ipex_d = run_suite(&SimConfig::ipex_data_only(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
+    let no_pf = run_suite(&SimConfig::builder().no_prefetch().build(), &trace);
+    let base = run_suite(&SimConfig::builder().build(), &trace);
+    let ipex_d = run_suite(&SimConfig::builder().ipex(Ipex::Data).build(), &trace);
+    let ipex = run_suite(&SimConfig::builder().ipex(Ipex::Both).build(), &trace);
     println!("(simulated 80 runs in {:.1?})\n", t0.elapsed());
 
     println!(

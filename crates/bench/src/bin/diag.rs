@@ -11,8 +11,8 @@
 //! reconciliation of the per-event tallies against the aggregate
 //! counters of the same run.
 
-use ehs_bench::{pct, run_one};
-use ehs_sim::{EventCounts, Machine, SimConfig, SimEvent, SimResult, TraceMode};
+use ehs_bench::{expect_ok, pct, run_one};
+use ehs_sim::prelude::*;
 
 fn main() {
     let mut name = String::from("g721e");
@@ -34,11 +34,11 @@ fn main() {
     let trace = SimConfig::default_trace();
 
     for (label, cfg) in [
-        ("no-prefetch", SimConfig::no_prefetch()),
-        ("baseline", SimConfig::baseline()),
-        ("ipex-both", SimConfig::ipex_both()),
+        ("no-prefetch", SimConfig::builder().no_prefetch().build()),
+        ("baseline", SimConfig::builder().build()),
+        ("ipex-both", SimConfig::builder().ipex(Ipex::Both).build()),
     ] {
-        let r = run_one(w, &cfg, &trace);
+        let r = expect_ok(&name, &cfg, run_one(w, &cfg, &trace));
         print_result(&name, label, &r);
     }
 
@@ -53,8 +53,11 @@ fn main() {
 
 /// Re-runs the IPEX(both) configuration with a JSONL sink attached and
 /// prints the timeline excerpt, attribution table, and reconciliation.
-fn traced_run(name: &str, w: &ehs_workloads::Workload, trace: &ehs_energy::PowerTrace, path: &str) {
-    let cfg = SimConfig::ipex_both().with_trace_mode(TraceMode::Jsonl { path: path.into() });
+fn traced_run(name: &str, w: &ehs_workloads::Workload, trace: &PowerTrace, path: &str) {
+    let cfg = SimConfig::builder()
+        .ipex(Ipex::Both)
+        .build()
+        .with_trace_mode(TraceMode::Jsonl { path: path.into() });
     let mut machine = Machine::with_trace(cfg, &w.program(), trace.clone());
     let result = machine.run().expect("traced run completes");
     let counts = *machine.trace_counts();

@@ -1,64 +1,6 @@
-//! Figure 1: speedup over the 2 kB baseline and cache-leakage share of
-//! total energy, as cache size varies (prefetchers disabled).
-
-use std::collections::BTreeMap;
-
-use ehs_bench::{banner, gmean, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    size_bytes: u32,
-    speedup_over_2kb: f64,
-    cache_leak_share: f64,
-}
+//! Figure 1, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig01", "cache-size motivation (no prefetchers), RFHome");
-    let trace = SimConfig::default_trace();
-    let sizes = [256u32, 512, 1024, 2048, 4096, 8192];
-    let mut results = BTreeMap::new();
-    for &s in &sizes {
-        results.insert(
-            s,
-            run_suite(&SimConfig::no_prefetch().with_cache_size(s), &trace),
-        );
-    }
-    let base = &results[&2048];
-    let mut rows = Vec::new();
-    for &s in &sizes {
-        let r = &results[&s];
-        let speeds: Vec<f64> = ehs_workloads::SUITE
-            .iter()
-            .map(|w| {
-                base[w.name()].stats.total_cycles as f64 / r[w.name()].stats.total_cycles as f64
-            })
-            .collect();
-        // Leakage share: cache leak power / total energy. The cache
-        // bucket is access energy + leakage; recompute leakage directly.
-        let leak_share: Vec<f64> = ehs_workloads::SUITE
-            .iter()
-            .map(|w| {
-                let res = &r[w.name()];
-                let leak_nj = 2.0
-                    * SimConfig::baseline().energy.cache_leak_nj_per_cycle(s)
-                    * res.stats.on_cycles as f64;
-                leak_nj / res.total_energy_nj()
-            })
-            .collect();
-        let row = Row {
-            size_bytes: s,
-            speedup_over_2kb: gmean(&speeds),
-            cache_leak_share: leak_share.iter().sum::<f64>() / leak_share.len() as f64,
-        };
-        println!(
-            "{:>5} B  speedup {:.3}   cache leak {}",
-            s,
-            row.speedup_over_2kb,
-            pct(row.cache_leak_share)
-        );
-        rows.push(row);
-    }
-    write_results("fig01_cache_size_motivation", &rows);
+    ehs_bench::figures::run_standalone("fig01");
 }

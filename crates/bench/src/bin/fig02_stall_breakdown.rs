@@ -1,44 +1,6 @@
-//! Figure 2: fraction of on-time stalled on ICache/DCache misses per
-//! application (prefetchers disabled, default 2 kB caches).
-
-use ehs_bench::{banner, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    istall: f64,
-    dstall: f64,
-}
+//! Figure 2, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig02", "pipeline-stall breakdown (no prefetchers), RFHome");
-    let trace = SimConfig::default_trace();
-    let res = run_suite(&SimConfig::no_prefetch(), &trace);
-    let mut rows = Vec::new();
-    for w in &ehs_workloads::SUITE {
-        let r = &res[w.name()];
-        let row = Row {
-            app: w.name(),
-            istall: r.stats.istall_fraction(),
-            dstall: r.stats.dstall_fraction(),
-        };
-        println!(
-            "{:10} ICache {:>8}  DCache {:>8}",
-            row.app,
-            pct(row.istall),
-            pct(row.dstall)
-        );
-        rows.push(row);
-    }
-    let gi = rows.iter().map(|r| r.istall).sum::<f64>() / rows.len() as f64;
-    let gd = rows.iter().map(|r| r.dstall).sum::<f64>() / rows.len() as f64;
-    println!(
-        "{:10} ICache {:>8}  DCache {:>8}   (paper: 23.45% / 18.64%)",
-        "mean",
-        pct(gi),
-        pct(gd)
-    );
-    write_results("fig02_stall_breakdown", &rows);
+    ehs_bench::figures::run_standalone("fig02");
 }

@@ -1,32 +1,6 @@
-//! Figure 4: the analytic minimum useful-prefetch probability P
-//! (Inequality 4) versus E_prefetch for several E_leak values.
-
-use ehs_bench::{banner, write_results};
-use ehs_energy::min_useful_probability;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    e_leak_pj: f64,
-    e_prefetch_pj: f64,
-    min_p: f64,
-}
+//! Figure 4, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig04", "minimum useful-prefetch probability (Eq. 1-4)");
-    let mut rows = Vec::new();
-    for e_leak in [10.0, 20.0, 30.0, 40.0, 50.0] {
-        print!("E_leak = {e_leak:>4} pJ: ");
-        for e_pf in (0..=100).step_by(10) {
-            let p = min_useful_probability(e_pf as f64, e_leak);
-            print!("{:>5.1}% ", p * 100.0);
-            rows.push(Row {
-                e_leak_pj: e_leak,
-                e_prefetch_pj: e_pf as f64,
-                min_p: p,
-            });
-        }
-        println!();
-    }
-    write_results("fig04_min_probability", &rows);
+    ehs_bench::figures::run_standalone("fig04");
 }

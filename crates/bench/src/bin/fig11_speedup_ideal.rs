@@ -1,55 +1,6 @@
-//! Figure 11: the Figure-10 comparison against the *ideal* NVSRAMCache
-//! (zero-cost backup/restore) — the upper bound for cache-equipped EHSs.
-
-use ehs_bench::{banner, run_suite, speedups, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: String,
-    no_prefetch: f64,
-    ipex_data: f64,
-    ipex_both: f64,
-}
+//! Figure 11, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig11", "speedup over NVSRAMCache (ideal), RFHome");
-    let trace = SimConfig::default_trace();
-    let base = run_suite(&SimConfig::baseline().with_ideal_backup(), &trace);
-    let nopf = run_suite(&SimConfig::no_prefetch().with_ideal_backup(), &trace);
-    let ipex_d = run_suite(&SimConfig::ipex_data_only().with_ideal_backup(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both().with_ideal_backup(), &trace);
-
-    let (r0, g0) = speedups(&base, &nopf);
-    let (r1, g1) = speedups(&base, &ipex_d);
-    let (r2, g2) = speedups(&base, &ipex);
-    let mut rows = Vec::new();
-    println!(
-        "{:10} {:>8} {:>8} {:>8}",
-        "app", "no-pf", "+IPEX(D)", "+IPEX(I+D)"
-    );
-    for i in 0..r0.len() {
-        println!(
-            "{:10} {:>8.3} {:>8.3} {:>8.3}",
-            r0[i].0, r0[i].1, r1[i].1, r2[i].1
-        );
-        rows.push(Row {
-            app: r0[i].0.to_owned(),
-            no_prefetch: r0[i].1,
-            ipex_data: r1[i].1,
-            ipex_both: r2[i].1,
-        });
-    }
-    println!(
-        "{:10} {:>8.3} {:>8.3} {:>8.3}  (paper IPEX-both gmean: 1.0906)",
-        "gmean", g0, g1, g2
-    );
-    rows.push(Row {
-        app: "gmean".into(),
-        no_prefetch: g0,
-        ipex_data: g1,
-        ipex_both: g2,
-    });
-    write_results("fig11_speedup_ideal", &rows);
+    ehs_bench::figures::run_standalone("fig11");
 }

@@ -1,36 +1,6 @@
-//! Figure 12: reduction in issued prefetch operations when IPEX controls
-//! both prefetchers.
-
-use ehs_bench::{banner, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    reduction: f64,
-}
+//! Figure 12, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner(
-        "fig12",
-        "prefetch-operation reduction, IPEX on both prefetchers",
-    );
-    let trace = SimConfig::default_trace();
-    let base = run_suite(&SimConfig::baseline(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
-    let mut rows = Vec::new();
-    for w in &ehs_workloads::SUITE {
-        let b = base[w.name()].prefetch_operations().max(1);
-        let i = ipex[w.name()].prefetch_operations();
-        let row = Row {
-            app: w.name(),
-            reduction: 1.0 - i as f64 / b as f64,
-        };
-        println!("{:10} {:>8}", row.app, pct(row.reduction));
-        rows.push(row);
-    }
-    let mean = rows.iter().map(|r| r.reduction).sum::<f64>() / rows.len() as f64;
-    println!("{:10} {:>8}  (paper mean: 7.11%)", "mean", pct(mean));
-    write_results("fig12_prefetch_reduction", &rows);
+    ehs_bench::figures::run_standalone("fig12");
 }

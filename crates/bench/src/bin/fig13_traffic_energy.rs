@@ -1,47 +1,6 @@
-//! Figure 13: main-memory traffic reduction (bars) and total energy
-//! normalised to the baseline (line) with IPEX on both prefetchers.
-
-use ehs_bench::{banner, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    traffic_reduction: f64,
-    normalized_energy: f64,
-}
+//! Figure 13, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig13", "memory-traffic reduction + normalised energy");
-    let trace = SimConfig::default_trace();
-    let base = run_suite(&SimConfig::baseline(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
-    let mut rows = Vec::new();
-    for w in &ehs_workloads::SUITE {
-        let b = &base[w.name()];
-        let i = &ipex[w.name()];
-        let row = Row {
-            app: w.name(),
-            traffic_reduction: 1.0
-                - i.nvm.total_traffic() as f64 / b.nvm.total_traffic().max(1) as f64,
-            normalized_energy: i.total_energy_nj() / b.total_energy_nj(),
-        };
-        println!(
-            "{:10} traffic {:>8}   energy {:>7.4}",
-            row.app,
-            pct(row.traffic_reduction),
-            row.normalized_energy
-        );
-        rows.push(row);
-    }
-    let mt = rows.iter().map(|r| r.traffic_reduction).sum::<f64>() / rows.len() as f64;
-    let me = rows.iter().map(|r| r.normalized_energy).sum::<f64>() / rows.len() as f64;
-    println!(
-        "{:10} traffic {:>8}   energy {:>7.4}  (paper: 2.00% / 0.921)",
-        "mean",
-        pct(mt),
-        me
-    );
-    write_results("fig13_traffic_energy", &rows);
+    ehs_bench::figures::run_standalone("fig13");
 }

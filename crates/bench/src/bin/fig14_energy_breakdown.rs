@@ -1,81 +1,6 @@
-//! Figure 14: energy breakdown (cache / memory / compute / backup+rst)
-//! normalised to the baseline, three bars per application.
-
-use ehs_bench::{banner, run_suite, write_results};
-use ehs_energy::EnergyBreakdown;
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    config: &'static str,
-    cache: f64,
-    memory: f64,
-    compute: f64,
-    backup_restore: f64,
-    total: f64,
-}
-
-fn bar(
-    app: &'static str,
-    config: &'static str,
-    e: &EnergyBreakdown,
-    base: &EnergyBreakdown,
-) -> Row {
-    let n = e.normalized_to(base);
-    Row {
-        app,
-        config,
-        cache: n.cache_nj,
-        memory: n.memory_nj,
-        compute: n.compute_nj,
-        backup_restore: n.backup_restore_nj,
-        total: n.total_nj(),
-    }
-}
+//! Figure 14, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner(
-        "fig14",
-        "normalised energy breakdown (baseline / +IPEX(D) / +IPEX(I+D))",
-    );
-    let trace = SimConfig::default_trace();
-    let base = run_suite(&SimConfig::baseline(), &trace);
-    let ipex_d = run_suite(&SimConfig::ipex_data_only(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
-    let mut rows = Vec::new();
-    println!(
-        "{:10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "app", "config", "cache", "mem", "comp", "bk+rst", "total"
-    );
-    for w in &ehs_workloads::SUITE {
-        let b = &base[w.name()].energy;
-        for (cfg, e) in [
-            ("baseline", b),
-            ("ipex-data", &ipex_d[w.name()].energy),
-            ("ipex-both", &ipex[w.name()].energy),
-        ] {
-            let row = bar(w.name(), cfg, e, b);
-            println!(
-                "{:10} {:>10} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-                row.app,
-                row.config,
-                row.cache,
-                row.memory,
-                row.compute,
-                row.backup_restore,
-                row.total
-            );
-            rows.push(row);
-        }
-    }
-    let m: f64 = rows
-        .iter()
-        .filter(|r| r.config == "ipex-both")
-        .map(|r| r.total)
-        .sum::<f64>()
-        / 20.0;
-    println!("ipex-both mean normalised energy: {m:.4}  (paper: 0.9214)");
-    write_results("fig14_energy_breakdown", &rows);
+    ehs_bench::figures::run_standalone("fig14");
 }

@@ -1,59 +1,6 @@
-//! Figure 15: ICache/DCache miss rates with and without IPEX on both
-//! prefetchers.
-
-use ehs_bench::{banner, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    icache_miss: f64,
-    dcache_miss: f64,
-    icache_miss_ipex: f64,
-    dcache_miss_ipex: f64,
-}
+//! Figure 15, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("fig15", "cache miss rates, baseline vs IPEX");
-    let trace = SimConfig::default_trace();
-    let base = run_suite(&SimConfig::baseline(), &trace);
-    let ipex = run_suite(&SimConfig::ipex_both(), &trace);
-    let mut rows = Vec::new();
-    for w in &ehs_workloads::SUITE {
-        let b = &base[w.name()];
-        let i = &ipex[w.name()];
-        let row = Row {
-            app: w.name(),
-            icache_miss: b.icache.miss_rate(),
-            dcache_miss: b.dcache.miss_rate(),
-            icache_miss_ipex: i.icache.miss_rate(),
-            dcache_miss_ipex: i.dcache.miss_rate(),
-        };
-        println!(
-            "{:10} I {:>7} -> {:>7}   D {:>7} -> {:>7}",
-            row.app,
-            pct(row.icache_miss),
-            pct(row.icache_miss_ipex),
-            pct(row.dcache_miss),
-            pct(row.dcache_miss_ipex)
-        );
-        rows.push(row);
-    }
-    let di: f64 = rows
-        .iter()
-        .map(|r| r.icache_miss_ipex - r.icache_miss)
-        .sum::<f64>()
-        / rows.len() as f64;
-    let dd: f64 = rows
-        .iter()
-        .map(|r| r.dcache_miss_ipex - r.dcache_miss)
-        .sum::<f64>()
-        / rows.len() as f64;
-    println!(
-        "mean miss-rate increase under IPEX: I {} D {}  (paper: +0.08% / +0.02%)",
-        pct(di),
-        pct(dd)
-    );
-    write_results("fig15_miss_rates", &rows);
+    ehs_bench::figures::run_standalone("fig15");
 }

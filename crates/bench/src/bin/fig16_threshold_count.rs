@@ -1,28 +1,6 @@
-//! Figure 16: sensitivity to the number of IPEX voltage thresholds.
-
-use ehs_bench::run_sweep;
-use ehs_sim::{PrefetchMode, SimConfig};
-use ipex::IpexConfig;
+//! Figure 16, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = (1u32..=3)
-        .map(|k| {
-            let label = format!("{k} threshold(s)");
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                let ic = IpexConfig::with_threshold_count(k);
-                if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
-                    c.inst_mode = PrefetchMode::Ipex(ic);
-                    c.data_mode = PrefetchMode::Ipex(ic);
-                }
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig16_threshold_count",
-        "voltage-threshold count (paper: 2 is best)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig16");
 }

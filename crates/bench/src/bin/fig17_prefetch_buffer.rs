@@ -1,24 +1,6 @@
-//! Figure 17: sensitivity to the prefetch-buffer size (32/64/128 B).
-
-use ehs_bench::run_sweep;
-use ehs_sim::SimConfig;
+//! Figure 17, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [2usize, 4, 8]
-        .into_iter()
-        .map(|entries| {
-            let label = format!("{} B ({entries} entries)", entries * 16);
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                c.prefetch_buffer_entries = entries;
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig17_prefetch_buffer",
-        "prefetch-buffer size (paper default: 64 B)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig17");
 }

@@ -1,28 +1,6 @@
-//! Figure 18: sensitivity to cache size (256 B - 8 kB).
-
-use ehs_bench::run_sweep;
-use ehs_sim::SimConfig;
+//! Figure 18, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [256u32, 512, 1024, 2048, 4096, 8192]
-        .into_iter()
-        .map(|s| {
-            let label = if s < 1024 {
-                format!("{s} B")
-            } else {
-                format!("{} kB", s / 1024)
-            };
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                *c = c.clone().with_cache_size(s);
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig18_cache_size",
-        "cache size (paper: gains shrink as caches grow)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig18");
 }

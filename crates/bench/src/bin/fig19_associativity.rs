@@ -1,25 +1,6 @@
-//! Figure 19: sensitivity to cache associativity (1-8 ways).
-
-use ehs_bench::run_sweep;
-use ehs_sim::SimConfig;
+//! Figure 19, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [1u32, 2, 4, 8]
-        .into_iter()
-        .map(|a| {
-            let label = format!("{a}-way");
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                c.icache.assoc = a;
-                c.dcache.assoc = a;
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig19_associativity",
-        "cache associativity (paper: 4.89%-8.96% across)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig19");
 }

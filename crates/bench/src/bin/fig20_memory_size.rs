@@ -1,26 +1,6 @@
-//! Figure 20: sensitivity to main-memory capacity (2-32 MB); larger
-//! arrays have higher latency and per-access energy.
-
-use ehs_bench::run_sweep;
-use ehs_mem::{NvmConfig, NvmTech};
-use ehs_sim::SimConfig;
+//! Figure 20, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [2u64, 4, 8, 16, 32]
-        .into_iter()
-        .map(|mb| {
-            let label = format!("{mb} MB");
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                c.nvm = NvmConfig::for_tech(NvmTech::ReRam, mb << 20);
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig20_memory_size",
-        "main-memory size (paper: gain grows with size)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig20");
 }

@@ -1,25 +1,6 @@
-//! Figure 21: sensitivity to NVM technology (ReRAM / STT-RAM / PCM).
-
-use ehs_bench::run_sweep;
-use ehs_mem::{NvmConfig, NvmTech, DEFAULT_NVM_BYTES};
-use ehs_sim::SimConfig;
+//! Figure 21, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = NvmTech::ALL
-        .into_iter()
-        .map(|tech| {
-            let label = tech.name().to_owned();
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                c.nvm = NvmConfig::for_tech(tech, DEFAULT_NVM_BYTES);
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig21_nvm_tech",
-        "NVM technology (paper: slower NVM => bigger gain)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig21");
 }

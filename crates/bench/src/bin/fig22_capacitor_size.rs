@@ -1,26 +1,6 @@
-//! Figure 22: sensitivity to capacitor size (0.47-1000 uF); larger
-//! capacitors mean longer power cycles and fewer IPEX opportunities.
-
-use ehs_bench::run_sweep;
-use ehs_energy::CapacitorConfig;
-use ehs_sim::SimConfig;
+//! Figure 22, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [0.47f64, 1.0, 4.7, 10.0, 47.0, 100.0, 1000.0]
-        .into_iter()
-        .map(|uf| {
-            let label = format!("{uf} uF");
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                c.capacitor = CapacitorConfig::with_capacitance_uf(uf);
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig22_capacitor_size",
-        "capacitor size (paper: gain shrinks as C grows)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig22");
 }

@@ -1,25 +1,6 @@
-//! Figure 23: sensitivity to the harvested-power environment.
-
-use ehs_bench::{banner, run_suite, speedups, write_results, SweepRow};
-use ehs_energy::TraceKind;
-use ehs_sim::SimConfig;
+//! Figure 23, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner(
-        "fig23_power_traces",
-        "power traces (paper: small gap, RF slightly ahead)",
-    );
-    let mut rows = Vec::new();
-    for kind in TraceKind::ALL {
-        let trace = kind.synthesize(42, 400_000);
-        let b = run_suite(&SimConfig::baseline(), &trace);
-        let i = run_suite(&SimConfig::ipex_both(), &trace);
-        let (_, g) = speedups(&b, &i);
-        println!("{:>10}  IPEX speedup over baseline: {g:.4}", kind.name());
-        rows.push(SweepRow {
-            label: kind.name().to_owned(),
-            ipex_speedup: g,
-        });
-    }
-    write_results("fig23_power_traces", &rows);
+    ehs_bench::figures::run_standalone("fig23");
 }

@@ -1,32 +1,6 @@
-//! Figure 24: sensitivity to the adaptive threshold step size.
-
-use ehs_bench::run_sweep;
-use ehs_sim::{PrefetchMode, SimConfig};
-use ipex::IpexConfig;
+//! Figure 24, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [0.05f64, 0.10, 0.15]
-        .into_iter()
-        .map(|step| {
-            let label = format!("{step:.2} V");
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                let ic = IpexConfig {
-                    voltage_step_v: step,
-                    ..IpexConfig::paper_default()
-                };
-                if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
-                    c.inst_mode = PrefetchMode::Ipex(ic);
-                    c.data_mode = PrefetchMode::Ipex(ic);
-                }
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig24_voltage_step",
-        "voltage step size (paper: 0.05 V is best)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig24");
 }

@@ -1,33 +1,6 @@
-//! Figure 25: sensitivity to the throttling-rate threshold that gates
-//! the adaptive voltage-threshold update.
-
-use ehs_bench::run_sweep;
-use ehs_sim::{PrefetchMode, SimConfig};
-use ipex::IpexConfig;
+//! Figure 25, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    let trace = SimConfig::default_trace();
-    let points = [0.01f64, 0.05, 0.10, 0.20]
-        .into_iter()
-        .map(|rate| {
-            let label = format!("{:.0}%", rate * 100.0);
-            let f: Box<dyn Fn(&mut SimConfig)> = Box::new(move |c: &mut SimConfig| {
-                let ic = IpexConfig {
-                    throttle_rate_threshold: rate,
-                    ..IpexConfig::paper_default()
-                };
-                if matches!(c.inst_mode, PrefetchMode::Ipex(_)) {
-                    c.inst_mode = PrefetchMode::Ipex(ic);
-                    c.data_mode = PrefetchMode::Ipex(ic);
-                }
-            });
-            (label, f)
-        })
-        .collect();
-    run_sweep(
-        "fig25_throttle_rate",
-        "throttle-rate threshold (paper: 5% is best)",
-        &trace,
-        points,
-    );
+    ehs_bench::figures::run_standalone("fig25");
 }

@@ -1,0 +1,185 @@
+//! The whole paper in one process.
+//!
+//! ```text
+//! cargo run --release -p ehs-bench --bin paper -- [flags]
+//!
+//!   --only fig10,tab2   render only the listed figures (short or file ids)
+//!   --no-cache          don't read or write results/.cache
+//!   --jobs N            worker-pool width (default: available parallelism)
+//!   --list              print the registry and exit
+//! ```
+//!
+//! All selected figures declare their simulation points up front; the
+//! union is deduplicated by content-addressed key and each unique point
+//! is simulated exactly once (asserted), with previously cached points
+//! loaded from `results/.cache/`. Rendering then reuses the memoized
+//! results, so every `results/*.json` is byte-identical to what the
+//! standalone per-figure binaries produce. Each run appends a record to
+//! `BENCH_sweep.json` so cold-vs-warm wall-clock is tracked over time.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::time::Instant;
+
+use ehs_bench::figures::{RenderCx, REGISTRY};
+use ehs_bench::sweep::{Sweep, SweepOptions};
+use serde::{Deserialize, Serialize};
+
+/// One appended measurement in `BENCH_sweep.json`.
+#[derive(Serialize, Deserialize)]
+struct BenchRecord {
+    unix_ms: u64,
+    wall_ms: u64,
+    jobs: u64,
+    cache_enabled: bool,
+    figures: u64,
+    requested: u64,
+    unique_points: u64,
+    simulated: u64,
+    disk_hits: u64,
+    memo_hits: u64,
+    in_flight_waits: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] [--list]\n\
+         ids are short (fig10, tab2) or file ids (fig10_speedup_baseline)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut only: Option<Vec<String>> = None;
+    let mut use_cache = true;
+    let mut jobs: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                only = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            "--no-cache" => use_cache = false,
+            "--jobs" => {
+                let n = args.next().and_then(|s| s.parse().ok());
+                match n {
+                    Some(n) if n >= 1 => jobs = Some(n),
+                    _ => usage(),
+                }
+            }
+            "--list" => {
+                for f in REGISTRY {
+                    println!("{:10} {:28} {}", f.id(), f.file_id(), f.title());
+                }
+                return;
+            }
+            _ => usage(),
+        }
+    }
+
+    let figures: Vec<_> = match &only {
+        None => REGISTRY.to_vec(),
+        Some(ids) => ids
+            .iter()
+            .map(|id| {
+                ehs_bench::figures::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown figure id `{id}` (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+
+    let results_dir = Path::new("results");
+    let sweep = Sweep::new(SweepOptions {
+        jobs,
+        disk_cache: use_cache.then(|| Sweep::default_cache_dir(results_dir)),
+    });
+
+    let t0 = Instant::now();
+    let points: Vec<_> = figures.iter().flat_map(|f| f.points()).collect();
+    let unique: HashSet<_> = points.iter().map(|p| p.key()).collect();
+    println!(
+        "[paper] {} figure(s); {} point(s), {} unique",
+        figures.len(),
+        points.len(),
+        unique.len()
+    );
+
+    // Simulation phase: the union of every figure's needs, exactly once
+    // per unique key. Errors surface during rendering, with the figure
+    // that needed the point.
+    let n_unique = unique.len() as u64;
+    let _ = sweep.request(points).wait();
+
+    // Render phase: all memo hits.
+    let cx = RenderCx::new(&sweep);
+    for f in &figures {
+        println!();
+        f.render(&cx);
+    }
+
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    let stats = sweep.stats();
+    println!(
+        "\n[paper] done in {:.1}s: {} requested, {} unique, {} simulated, \
+         {} from disk cache, {} memo hits",
+        wall_ms as f64 / 1000.0,
+        stats.requested,
+        n_unique,
+        stats.simulated,
+        stats.disk_hits,
+        stats.memo_hits
+    );
+    // The engine's exactly-once invariant: every unique point was
+    // materialised once — by simulation or by a disk-cache load.
+    assert_eq!(
+        stats.unique(),
+        n_unique,
+        "sweep engine simulated a point more than once (or lost one)"
+    );
+    if !use_cache {
+        assert_eq!(stats.disk_hits, 0, "--no-cache must not read the cache");
+    }
+
+    let record = BenchRecord {
+        unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        wall_ms,
+        jobs: sweep_jobs(jobs) as u64,
+        cache_enabled: use_cache,
+        figures: figures.len() as u64,
+        requested: stats.requested,
+        unique_points: n_unique,
+        simulated: stats.simulated,
+        disk_hits: stats.disk_hits,
+        memo_hits: stats.memo_hits,
+        in_flight_waits: stats.in_flight_waits,
+    };
+    append_bench_record("BENCH_sweep.json", record);
+}
+
+fn sweep_jobs(jobs: Option<usize>) -> usize {
+    jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Appends one record to the JSON array in `path` (creating it if
+/// missing; an unreadable file is replaced rather than crashing the
+/// run, since the benchmark log is advisory).
+fn append_bench_record(path: &str, record: BenchRecord) {
+    let mut records: Vec<BenchRecord> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    records.push(record);
+    let json = serde_json::to_string_pretty(&records).expect("serialise bench records");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!("[bench record appended to {path}]");
+}

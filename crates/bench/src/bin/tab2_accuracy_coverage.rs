@@ -1,62 +1,6 @@
-//! Table 2: prefetch accuracy and coverage for instruction and data
-//! streams, baseline vs IPEX.
-
-use ehs_bench::{banner, pct, run_suite, write_results};
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    config: &'static str,
-    acc_inst: f64,
-    acc_data: f64,
-    cov_inst: f64,
-    cov_data: f64,
-}
-
-fn aggregate(
-    results: &std::collections::BTreeMap<&'static str, ehs_sim::SimResult>,
-    config: &'static str,
-) -> Row {
-    // Aggregate over the pooled counts (not a mean of ratios), matching
-    // how suite-level accuracy/coverage is usually reported.
-    let (mut iu, mut iw, mut du, mut dw, mut im, mut dm) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
-    for r in results.values() {
-        iu += r.ibuf.useful;
-        iw += r.ibuf.useless();
-        du += r.dbuf.useful;
-        dw += r.dbuf.useless();
-        im += r.stats.i_demand_reads;
-        dm += r.stats.d_demand_reads;
-    }
-    Row {
-        config,
-        acc_inst: iu as f64 / (iu + iw).max(1) as f64,
-        acc_data: du as f64 / (du + dw).max(1) as f64,
-        cov_inst: iu as f64 / (iu + im).max(1) as f64,
-        cov_data: du as f64 / (du + dm).max(1) as f64,
-    }
-}
+//! Table 2, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("tab2", "prefetch accuracy and coverage");
-    let trace = SimConfig::default_trace();
-    let base = aggregate(&run_suite(&SimConfig::baseline(), &trace), "NVSRAMCache");
-    let ipex = aggregate(&run_suite(&SimConfig::ipex_both(), &trace), "IPEX");
-    println!(
-        "{:12} {:>9} {:>9} {:>9} {:>9}",
-        "config", "acc(I)", "acc(D)", "cov(I)", "cov(D)"
-    );
-    for r in [&base, &ipex] {
-        println!(
-            "{:12} {:>9} {:>9} {:>9} {:>9}",
-            r.config,
-            pct(r.acc_inst),
-            pct(r.acc_data),
-            pct(r.cov_inst),
-            pct(r.cov_data)
-        );
-    }
-    println!("(paper: 54.03/52.88/80.56/64.51 -> 72.88/64.93/78.24/61.44)");
-    write_results("tab2_accuracy_coverage", &vec![base, ipex]);
+    ehs_bench::figures::run_standalone("tab2");
 }

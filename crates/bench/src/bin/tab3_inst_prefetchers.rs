@@ -1,35 +1,6 @@
-//! Table 3: IPEX's gmean speedup with different instruction prefetchers
-//! (the data prefetcher stays at the default stride).
-
-use ehs_bench::{banner, run_suite, speedups, write_results};
-use ehs_prefetch::InstPrefetcherKind;
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    prefetcher: &'static str,
-    ipex_speedup: f64,
-}
+//! Table 3, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("tab3", "IPEX speedup with varying instruction prefetchers");
-    let trace = SimConfig::default_trace();
-    let mut rows = Vec::new();
-    for kind in InstPrefetcherKind::TABLE3 {
-        let mut base = SimConfig::baseline();
-        base.inst_prefetcher = kind;
-        let mut ipex = SimConfig::ipex_both();
-        ipex.inst_prefetcher = kind;
-        let b = run_suite(&base, &trace);
-        let i = run_suite(&ipex, &trace);
-        let (_, g) = speedups(&b, &i);
-        println!("{:12} IPEX speedup {:.4}", kind.name(), g);
-        rows.push(Row {
-            prefetcher: kind.name(),
-            ipex_speedup: g,
-        });
-    }
-    println!("(paper: Sequential 8.96% / Markov 7.89% / TIFS 9.05%)");
-    write_results("tab3_inst_prefetchers", &rows);
+    ehs_bench::figures::run_standalone("tab3");
 }

@@ -1,35 +1,6 @@
-//! Table 4: IPEX's gmean speedup with different data prefetchers (the
-//! instruction prefetcher stays at the default sequential).
-
-use ehs_bench::{banner, run_suite, speedups, write_results};
-use ehs_prefetch::DataPrefetcherKind;
-use ehs_sim::SimConfig;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    prefetcher: &'static str,
-    ipex_speedup: f64,
-}
+//! Table 4, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("tab4", "IPEX speedup with varying data prefetchers");
-    let trace = SimConfig::default_trace();
-    let mut rows = Vec::new();
-    for kind in DataPrefetcherKind::TABLE4 {
-        let mut base = SimConfig::baseline();
-        base.data_prefetcher = kind;
-        let mut ipex = SimConfig::ipex_both();
-        ipex.data_prefetcher = kind;
-        let b = run_suite(&base, &trace);
-        let i = run_suite(&ipex, &trace);
-        let (_, g) = speedups(&b, &i);
-        println!("{:12} IPEX speedup {:.4}", kind.name(), g);
-        rows.push(Row {
-            prefetcher: kind.name(),
-            ipex_speedup: g,
-        });
-    }
-    println!("(paper: Stride 8.96% / GHB 8.83% / BO 8.76%)");
-    write_results("tab4_data_prefetchers", &rows);
+    ehs_bench::figures::run_standalone("tab4");
 }

@@ -1,24 +1,6 @@
-//! Section 6.1: the hardware-overhead accounting for IPEX's registers.
-
-use ehs_bench::{banner, write_results};
+//! The Section-6.1 hardware-overhead table, as a standalone binary: a shim over the shared figure
+//! registry, so this output is byte-identical with `--bin paper`.
 
 fn main() {
-    banner("tab_hw_overhead", "IPEX hardware overhead (Section 6.1)");
-    let r = ipex::overhead::report();
-    println!(
-        "bits per cache:      {} (Rthrottled 32 + Rtotal 32 + Rtr 32 + Ripd 3)",
-        r.bits_per_cache
-    );
-    println!("caches extended:     {}", r.caches);
-    println!("total bits:          {} (paper: 198)", r.total_bits);
-    println!("added area:          {:.2} um^2", r.added_area_um2);
-    println!(
-        "core area:           {:.2} mm^2 (CACTI, 45 nm)",
-        r.core_area_mm2
-    );
-    println!(
-        "core-area overhead:  {:.4}% (paper: 0.0018%)",
-        r.core_area_percent
-    );
-    write_results("tab_hw_overhead", &r);
+    ehs_bench::figures::run_standalone("tab_hw");
 }

@@ -1,0 +1,93 @@
+//! Figure 1: speedup over the 2 kB baseline and cache-leakage share of
+//! total energy, as cache size varies (prefetchers disabled).
+
+use std::collections::BTreeMap;
+
+use ehs_sim::prelude::*;
+use serde::Serialize;
+
+use super::{nopf_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, gmean, pct};
+
+const SIZES: [u32; 6] = [256, 512, 1024, 2048, 4096, 8192];
+
+fn cfg_for(size: u32) -> SimConfig {
+    nopf_cfg().with_cache_size(size)
+}
+
+pub struct Fig01;
+
+impl Figure for Fig01 {
+    fn id(&self) -> &'static str {
+        "fig01"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig01_cache_size_motivation"
+    }
+
+    fn title(&self) -> &'static str {
+        "cache-size motivation (no prefetchers), RFHome"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        SIZES
+            .iter()
+            .flat_map(|&s| suite_points(&cfg_for(s), &trace))
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            size_bytes: u32,
+            speedup_over_2kb: f64,
+            cache_leak_share: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let mut results = BTreeMap::new();
+        for &s in &SIZES {
+            results.insert(s, cx.suite(&cfg_for(s), &trace));
+        }
+        let base = &results[&2048];
+        let mut rows = Vec::new();
+        for &s in &SIZES {
+            let r = &results[&s];
+            let speeds: Vec<f64> = ehs_workloads::SUITE
+                .iter()
+                .map(|w| {
+                    base[w.name()].stats.total_cycles as f64 / r[w.name()].stats.total_cycles as f64
+                })
+                .collect();
+            // Leakage share: cache leak power / total energy. The cache
+            // bucket is access energy + leakage; recompute leakage directly.
+            let leak_share: Vec<f64> = ehs_workloads::SUITE
+                .iter()
+                .map(|w| {
+                    let res = &r[w.name()];
+                    let leak_nj = 2.0
+                        * SimConfig::default().energy.cache_leak_nj_per_cycle(s)
+                        * res.stats.on_cycles as f64;
+                    leak_nj / res.total_energy_nj()
+                })
+                .collect();
+            let row = Row {
+                size_bytes: s,
+                speedup_over_2kb: gmean(&speeds),
+                cache_leak_share: leak_share.iter().sum::<f64>() / leak_share.len() as f64,
+            };
+            println!(
+                "{:>5} B  speedup {:.3}   cache leak {}",
+                s,
+                row.speedup_over_2kb,
+                pct(row.cache_leak_share)
+            );
+            rows.push(row);
+        }
+        cx.write(self.file_id(), &rows);
+    }
+}

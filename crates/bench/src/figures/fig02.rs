@@ -1,0 +1,65 @@
+//! Figure 2: fraction of on-time stalled on ICache/DCache misses per
+//! application (prefetchers disabled, default 2 kB caches).
+
+use serde::Serialize;
+
+use super::{nopf_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, pct};
+
+pub struct Fig02;
+
+impl Figure for Fig02 {
+    fn id(&self) -> &'static str {
+        "fig02"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig02_stall_breakdown"
+    }
+
+    fn title(&self) -> &'static str {
+        "pipeline-stall breakdown (no prefetchers), RFHome"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        suite_points(&nopf_cfg(), &rfhome())
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            app: &'static str,
+            istall: f64,
+            dstall: f64,
+        }
+
+        banner(self.id(), self.title());
+        let res = cx.suite(&nopf_cfg(), &rfhome());
+        let mut rows = Vec::new();
+        for w in &ehs_workloads::SUITE {
+            let r = &res[w.name()];
+            let row = Row {
+                app: w.name(),
+                istall: r.stats.istall_fraction(),
+                dstall: r.stats.dstall_fraction(),
+            };
+            println!(
+                "{:10} ICache {:>8}  DCache {:>8}",
+                row.app,
+                pct(row.istall),
+                pct(row.dstall)
+            );
+            rows.push(row);
+        }
+        let gi = rows.iter().map(|r| r.istall).sum::<f64>() / rows.len() as f64;
+        let gd = rows.iter().map(|r| r.dstall).sum::<f64>() / rows.len() as f64;
+        println!(
+            "{:10} ICache {:>8}  DCache {:>8}   (paper: 23.45% / 18.64%)",
+            "mean",
+            pct(gi),
+            pct(gd)
+        );
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 10: per-application speedup over the conventional-prefetcher
+//! baseline (RFHome) for no-prefetcher, IPEX on the data prefetcher, and
+//! IPEX on both prefetchers.
+
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, nopf_cfg, rfhome, suite_points};
+use super::{Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, speedups};
+
+#[derive(Serialize)]
+pub(super) struct Row {
+    pub app: String,
+    pub no_prefetch: f64,
+    pub ipex_data: f64,
+    pub ipex_both: f64,
+}
+
+pub struct Fig10;
+
+impl Figure for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig10_speedup_baseline"
+    }
+
+    fn title(&self) -> &'static str {
+        "speedup over NVSRAMCache baseline, RFHome"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        [base_cfg(), nopf_cfg(), ipex_data_cfg(), ipex_both_cfg()]
+            .iter()
+            .flat_map(|c| suite_points(c, &trace))
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let base = cx.suite(&base_cfg(), &trace);
+        let nopf = cx.suite(&nopf_cfg(), &trace);
+        let ipex_d = cx.suite(&ipex_data_cfg(), &trace);
+        let ipex = cx.suite(&ipex_both_cfg(), &trace);
+
+        let (r0, g0) = speedups(&base, &nopf);
+        let (r1, g1) = speedups(&base, &ipex_d);
+        let (r2, g2) = speedups(&base, &ipex);
+        let mut rows = Vec::new();
+        println!(
+            "{:10} {:>8} {:>8} {:>8}",
+            "app", "no-pf", "+IPEX(D)", "+IPEX(I+D)"
+        );
+        for i in 0..r0.len() {
+            println!(
+                "{:10} {:>8.3} {:>8.3} {:>8.3}",
+                r0[i].0, r0[i].1, r1[i].1, r2[i].1
+            );
+            rows.push(Row {
+                app: r0[i].0.to_owned(),
+                no_prefetch: r0[i].1,
+                ipex_data: r1[i].1,
+                ipex_both: r2[i].1,
+            });
+        }
+        println!("{:10} {:>8.3} {:>8.3} {:>8.3}", "gmean", g0, g1, g2);
+        println!("(paper gmeans: 0.953 / 1.037 / 1.090 relative to baseline)");
+        rows.push(Row {
+            app: "gmean".into(),
+            no_prefetch: g0,
+            ipex_data: g1,
+            ipex_both: g2,
+        });
+        cx.write(self.file_id(), &rows);
+    }
+}

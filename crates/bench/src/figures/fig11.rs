@@ -1,0 +1,83 @@
+//! Figure 11: the Figure-10 comparison against the *ideal* NVSRAMCache
+//! (zero-cost backup/restore) — the upper bound for cache-equipped EHSs.
+
+use super::fig10::Row;
+use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, nopf_cfg, rfhome, suite_points};
+use super::{Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, speedups};
+
+fn configs() -> [ehs_sim::SimConfig; 4] {
+    [
+        base_cfg().with_ideal_backup(),
+        nopf_cfg().with_ideal_backup(),
+        ipex_data_cfg().with_ideal_backup(),
+        ipex_both_cfg().with_ideal_backup(),
+    ]
+}
+
+pub struct Fig11;
+
+impl Figure for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig11_speedup_ideal"
+    }
+
+    fn title(&self) -> &'static str {
+        "speedup over NVSRAMCache (ideal), RFHome"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        configs()
+            .iter()
+            .flat_map(|c| suite_points(c, &trace))
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let [base_c, nopf_c, ipex_d_c, ipex_c] = configs();
+        let base = cx.suite(&base_c, &trace);
+        let nopf = cx.suite(&nopf_c, &trace);
+        let ipex_d = cx.suite(&ipex_d_c, &trace);
+        let ipex = cx.suite(&ipex_c, &trace);
+
+        let (r0, g0) = speedups(&base, &nopf);
+        let (r1, g1) = speedups(&base, &ipex_d);
+        let (r2, g2) = speedups(&base, &ipex);
+        let mut rows = Vec::new();
+        println!(
+            "{:10} {:>8} {:>8} {:>8}",
+            "app", "no-pf", "+IPEX(D)", "+IPEX(I+D)"
+        );
+        for i in 0..r0.len() {
+            println!(
+                "{:10} {:>8.3} {:>8.3} {:>8.3}",
+                r0[i].0, r0[i].1, r1[i].1, r2[i].1
+            );
+            rows.push(Row {
+                app: r0[i].0.to_owned(),
+                no_prefetch: r0[i].1,
+                ipex_data: r1[i].1,
+                ipex_both: r2[i].1,
+            });
+        }
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3}  (paper IPEX-both gmean: 1.0906)",
+            "gmean", g0, g1, g2
+        );
+        rows.push(Row {
+            app: "gmean".into(),
+            no_prefetch: g0,
+            ipex_data: g1,
+            ipex_both: g2,
+        });
+        cx.write(self.file_id(), &rows);
+    }
+}

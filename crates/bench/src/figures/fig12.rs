@@ -1,0 +1,58 @@
+//! Figure 12: reduction in issued prefetch operations when IPEX controls
+//! both prefetchers.
+
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, pct};
+
+pub struct Fig12;
+
+impl Figure for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig12_prefetch_reduction"
+    }
+
+    fn title(&self) -> &'static str {
+        "prefetch-operation reduction, IPEX on both prefetchers"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        let mut pts = suite_points(&base_cfg(), &trace);
+        pts.extend(suite_points(&ipex_both_cfg(), &trace));
+        pts
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            app: &'static str,
+            reduction: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let base = cx.suite(&base_cfg(), &trace);
+        let ipex = cx.suite(&ipex_both_cfg(), &trace);
+        let mut rows = Vec::new();
+        for w in &ehs_workloads::SUITE {
+            let b = base[w.name()].prefetch_operations().max(1);
+            let i = ipex[w.name()].prefetch_operations();
+            let row = Row {
+                app: w.name(),
+                reduction: 1.0 - i as f64 / b as f64,
+            };
+            println!("{:10} {:>8}", row.app, pct(row.reduction));
+            rows.push(row);
+        }
+        let mean = rows.iter().map(|r| r.reduction).sum::<f64>() / rows.len() as f64;
+        println!("{:10} {:>8}  (paper mean: 7.11%)", "mean", pct(mean));
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 13: main-memory traffic reduction (bars) and total energy
+//! normalised to the baseline (line) with IPEX on both prefetchers.
+
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, pct};
+
+pub struct Fig13;
+
+impl Figure for Fig13 {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig13_traffic_energy"
+    }
+
+    fn title(&self) -> &'static str {
+        "memory-traffic reduction + normalised energy"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        let mut pts = suite_points(&base_cfg(), &trace);
+        pts.extend(suite_points(&ipex_both_cfg(), &trace));
+        pts
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            app: &'static str,
+            traffic_reduction: f64,
+            normalized_energy: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let base = cx.suite(&base_cfg(), &trace);
+        let ipex = cx.suite(&ipex_both_cfg(), &trace);
+        let mut rows = Vec::new();
+        for w in &ehs_workloads::SUITE {
+            let b = &base[w.name()];
+            let i = &ipex[w.name()];
+            let row = Row {
+                app: w.name(),
+                traffic_reduction: 1.0
+                    - i.nvm.total_traffic() as f64 / b.nvm.total_traffic().max(1) as f64,
+                normalized_energy: i.total_energy_nj() / b.total_energy_nj(),
+            };
+            println!(
+                "{:10} traffic {:>8}   energy {:>7.4}",
+                row.app,
+                pct(row.traffic_reduction),
+                row.normalized_energy
+            );
+            rows.push(row);
+        }
+        let mt = rows.iter().map(|r| r.traffic_reduction).sum::<f64>() / rows.len() as f64;
+        let me = rows.iter().map(|r| r.normalized_energy).sum::<f64>() / rows.len() as f64;
+        println!(
+            "{:10} traffic {:>8}   energy {:>7.4}  (paper: 2.00% / 0.921)",
+            "mean",
+            pct(mt),
+            me
+        );
+        cx.write(self.file_id(), &rows);
+    }
+}

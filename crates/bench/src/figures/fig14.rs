@@ -1,0 +1,104 @@
+//! Figure 14: energy breakdown (cache / memory / compute / backup+rst)
+//! normalised to the baseline, three bars per application.
+
+use ehs_energy::EnergyBreakdown;
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::banner;
+use crate::sweep::SimPoint;
+
+#[derive(Serialize)]
+struct Row {
+    app: &'static str,
+    config: &'static str,
+    cache: f64,
+    memory: f64,
+    compute: f64,
+    backup_restore: f64,
+    total: f64,
+}
+
+fn bar(
+    app: &'static str,
+    config: &'static str,
+    e: &EnergyBreakdown,
+    base: &EnergyBreakdown,
+) -> Row {
+    let n = e.normalized_to(base);
+    Row {
+        app,
+        config,
+        cache: n.cache_nj,
+        memory: n.memory_nj,
+        compute: n.compute_nj,
+        backup_restore: n.backup_restore_nj,
+        total: n.total_nj(),
+    }
+}
+
+pub struct Fig14;
+
+impl Figure for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig14_energy_breakdown"
+    }
+
+    fn title(&self) -> &'static str {
+        "normalised energy breakdown (baseline / +IPEX(D) / +IPEX(I+D))"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        [base_cfg(), ipex_data_cfg(), ipex_both_cfg()]
+            .iter()
+            .flat_map(|c| suite_points(c, &trace))
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let base = cx.suite(&base_cfg(), &trace);
+        let ipex_d = cx.suite(&ipex_data_cfg(), &trace);
+        let ipex = cx.suite(&ipex_both_cfg(), &trace);
+        let mut rows = Vec::new();
+        println!(
+            "{:10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "app", "config", "cache", "mem", "comp", "bk+rst", "total"
+        );
+        for w in &ehs_workloads::SUITE {
+            let b = &base[w.name()].energy;
+            for (cfg, e) in [
+                ("baseline", b),
+                ("ipex-data", &ipex_d[w.name()].energy),
+                ("ipex-both", &ipex[w.name()].energy),
+            ] {
+                let row = bar(w.name(), cfg, e, b);
+                println!(
+                    "{:10} {:>10} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                    row.app,
+                    row.config,
+                    row.cache,
+                    row.memory,
+                    row.compute,
+                    row.backup_restore,
+                    row.total
+                );
+                rows.push(row);
+            }
+        }
+        let m: f64 = rows
+            .iter()
+            .filter(|r| r.config == "ipex-both")
+            .map(|r| r.total)
+            .sum::<f64>()
+            / 20.0;
+        println!("ipex-both mean normalised energy: {m:.4}  (paper: 0.9214)");
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 15: ICache/DCache miss rates with and without IPEX on both
+//! prefetchers.
+
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, pct};
+
+pub struct Fig15;
+
+impl Figure for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig15_miss_rates"
+    }
+
+    fn title(&self) -> &'static str {
+        "cache miss rates, baseline vs IPEX"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        let mut pts = suite_points(&base_cfg(), &trace);
+        pts.extend(suite_points(&ipex_both_cfg(), &trace));
+        pts
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            app: &'static str,
+            icache_miss: f64,
+            dcache_miss: f64,
+            icache_miss_ipex: f64,
+            dcache_miss_ipex: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let base = cx.suite(&base_cfg(), &trace);
+        let ipex = cx.suite(&ipex_both_cfg(), &trace);
+        let mut rows = Vec::new();
+        for w in &ehs_workloads::SUITE {
+            let b = &base[w.name()];
+            let i = &ipex[w.name()];
+            let row = Row {
+                app: w.name(),
+                icache_miss: b.icache.miss_rate(),
+                dcache_miss: b.dcache.miss_rate(),
+                icache_miss_ipex: i.icache.miss_rate(),
+                dcache_miss_ipex: i.dcache.miss_rate(),
+            };
+            println!(
+                "{:10} I {:>7} -> {:>7}   D {:>7} -> {:>7}",
+                row.app,
+                pct(row.icache_miss),
+                pct(row.icache_miss_ipex),
+                pct(row.dcache_miss),
+                pct(row.dcache_miss_ipex)
+            );
+            rows.push(row);
+        }
+        let di: f64 = rows
+            .iter()
+            .map(|r| r.icache_miss_ipex - r.icache_miss)
+            .sum::<f64>()
+            / rows.len() as f64;
+        let dd: f64 = rows
+            .iter()
+            .map(|r| r.dcache_miss_ipex - r.dcache_miss)
+            .sum::<f64>()
+            / rows.len() as f64;
+        println!(
+            "mean miss-rate increase under IPEX: I {} D {}  (paper: +0.08% / +0.02%)",
+            pct(di),
+            pct(dd)
+        );
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 23: sensitivity to the harvested-power environment.
+
+use ehs_energy::{TraceKind, TraceSpec};
+
+use super::{base_cfg, ipex_both_cfg, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, speedups, SweepRow};
+
+pub struct Fig23;
+
+impl Figure for Fig23 {
+    fn id(&self) -> &'static str {
+        "fig23"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig23_power_traces"
+    }
+
+    fn title(&self) -> &'static str {
+        "power traces (paper: small gap, RF slightly ahead)"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        TraceKind::ALL
+            .into_iter()
+            .flat_map(|kind| {
+                let trace = TraceSpec::standard(kind);
+                let mut pts = suite_points(&base_cfg(), &trace);
+                pts.extend(suite_points(&ipex_both_cfg(), &trace));
+                pts
+            })
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        banner(self.file_id(), self.title());
+        let mut rows = Vec::new();
+        for kind in TraceKind::ALL {
+            let trace = TraceSpec::standard(kind);
+            let b = cx.suite(&base_cfg(), &trace);
+            let i = cx.suite(&ipex_both_cfg(), &trace);
+            let (_, g) = speedups(&b, &i);
+            println!("{:>10}  IPEX speedup over baseline: {g:.4}", kind.name());
+            rows.push(SweepRow {
+                label: kind.name().to_owned(),
+                ipex_speedup: g,
+            });
+        }
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,196 @@
+//! The figure registry: every table and figure of the paper as a
+//! declarative [`Figure`] implementation over the [`crate::sweep`]
+//! engine.
+//!
+//! A figure contributes two things: [`Figure::points`] — the simulation
+//! points it needs, declared up front so the `paper` binary can request
+//! the union of all figures and simulate each unique point exactly once
+//! — and [`Figure::render`], which pulls those (now memoized) results
+//! back out of the engine, prints the paper's rows, and writes
+//! `results/<file_id>.json`. The historical one-figure binaries call
+//! [`run_standalone`], which runs the same implementation against a
+//! private in-memory engine, so both paths produce byte-identical
+//! output.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use ehs_sim::prelude::*;
+use serde::Serialize;
+
+use crate::sweep::{SimPoint, Sweep};
+
+mod fig01;
+mod fig02;
+mod fig04;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig14;
+mod fig15;
+mod fig23;
+mod sensitivity;
+mod tab2;
+mod tab3;
+mod tab4;
+mod tab_hw;
+
+pub use sensitivity::Sensitivity;
+
+/// One table or figure of the paper.
+pub trait Figure: Sync {
+    /// Short selector id (`fig10`, `tab2`, `ablations`) — what
+    /// `paper --only` matches against.
+    fn id(&self) -> &'static str;
+
+    /// Stem of the results file, `results/<file_id>.json`.
+    fn file_id(&self) -> &'static str;
+
+    /// One-line description, shown by `paper --list`.
+    fn title(&self) -> &'static str;
+
+    /// Every simulation point this figure's render needs. Purely
+    /// declarative — nothing is simulated here.
+    fn points(&self) -> Vec<SimPoint>;
+
+    /// Prints the figure's rows and writes its results file, resolving
+    /// all simulation through `cx` (so shared points are hits).
+    fn render(&self, cx: &RenderCx<'_>);
+}
+
+/// What a figure renders against: the engine resolving its points and
+/// the directory its results file goes to.
+pub struct RenderCx<'a> {
+    /// The simulation engine (shared across figures in a `paper` run).
+    pub sweep: &'a Sweep,
+    /// Output directory, normally `results`.
+    pub out_dir: PathBuf,
+}
+
+impl RenderCx<'_> {
+    /// A context writing to the standard `results/` directory.
+    pub fn new(sweep: &Sweep) -> RenderCx<'_> {
+        RenderCx {
+            sweep,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// The full suite under `cfg`/`trace`, through the engine.
+    pub fn suite(&self, cfg: &SimConfig, trace: &TraceSpec) -> BTreeMap<&'static str, SimResult> {
+        self.sweep.suite(cfg, trace)
+    }
+
+    /// Writes `<out_dir>/<file_id>.json` exactly like the historical
+    /// binaries did.
+    pub fn write<T: Serialize>(&self, file_id: &str, rows: &T) {
+        crate::write_results_to(&self.out_dir, file_id, rows);
+    }
+}
+
+/// All 24 experiments, in presentation order.
+pub static REGISTRY: [&dyn Figure; 24] = [
+    &fig01::Fig01,
+    &fig02::Fig02,
+    &fig04::Fig04,
+    &fig10::Fig10,
+    &fig11::Fig11,
+    &fig12::Fig12,
+    &fig13::Fig13,
+    &fig14::Fig14,
+    &fig15::Fig15,
+    &sensitivity::FIG16,
+    &sensitivity::FIG17,
+    &sensitivity::FIG18,
+    &sensitivity::FIG19,
+    &sensitivity::FIG20,
+    &sensitivity::FIG21,
+    &sensitivity::FIG22,
+    &fig23::Fig23,
+    &sensitivity::FIG24,
+    &sensitivity::FIG25,
+    &tab2::Tab2,
+    &tab3::Tab3,
+    &tab4::Tab4,
+    &tab_hw::TabHw,
+    &sensitivity::ABLATIONS,
+];
+
+/// Looks a figure up by its short id or its file id.
+pub fn by_id(id: &str) -> Option<&'static dyn Figure> {
+    REGISTRY
+        .iter()
+        .find(|f| f.id() == id || f.file_id() == id)
+        .copied()
+}
+
+/// Runs one figure the way its historical standalone binary did: a
+/// private in-memory engine, results into `results/`.
+///
+/// # Panics
+///
+/// Panics if `id` names no registered figure or a simulation fails.
+pub fn run_standalone(id: &str) {
+    let fig = by_id(id).unwrap_or_else(|| panic!("no figure with id `{id}`"));
+    let sweep = Sweep::in_memory();
+    let cx = RenderCx::new(&sweep);
+    fig.render(&cx);
+}
+
+/// The default power environment of §6 (synthetic RFHome).
+pub(crate) fn rfhome() -> TraceSpec {
+    TraceSpec::default_rfhome()
+}
+
+/// The suite's points under one configuration and trace.
+pub(crate) fn suite_points(cfg: &SimConfig, trace: &TraceSpec) -> Vec<SimPoint> {
+    ehs_workloads::SUITE
+        .iter()
+        .map(|w| SimPoint::new(w.name(), cfg.clone(), trace.clone()))
+        .collect()
+}
+
+/// The four §6 comparison configurations.
+pub(crate) fn base_cfg() -> SimConfig {
+    SimConfig::builder().build()
+}
+
+pub(crate) fn nopf_cfg() -> SimConfig {
+    SimConfig::builder().no_prefetch().build()
+}
+
+pub(crate) fn ipex_data_cfg() -> SimConfig {
+    SimConfig::builder().ipex(Ipex::Data).build()
+}
+
+pub(crate) fn ipex_both_cfg() -> SimConfig {
+    SimConfig::builder().ipex(Ipex::Both).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|f| f.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len(), "duplicate figure ids");
+        for f in REGISTRY {
+            assert!(by_id(f.id()).is_some());
+            assert!(by_id(f.file_id()).is_some());
+            assert!(!f.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_simulating_figure_declares_points() {
+        for f in REGISTRY {
+            // The two analytic artefacts need no simulation.
+            let analytic = matches!(f.id(), "fig04" | "tab_hw");
+            assert_eq!(f.points().is_empty(), analytic, "{}", f.id());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 3: IPEX's gmean speedup with different instruction prefetchers
+//! (the data prefetcher stays at the default stride).
+
+use ehs_prefetch::InstPrefetcherKind;
+use ehs_sim::prelude::*;
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, speedups};
+
+fn pair_for(kind: InstPrefetcherKind) -> (SimConfig, SimConfig) {
+    let mut base = base_cfg();
+    base.inst_prefetcher = kind;
+    let mut ipex = ipex_both_cfg();
+    ipex.inst_prefetcher = kind;
+    (base, ipex)
+}
+
+pub struct Tab3;
+
+impl Figure for Tab3 {
+    fn id(&self) -> &'static str {
+        "tab3"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "tab3_inst_prefetchers"
+    }
+
+    fn title(&self) -> &'static str {
+        "IPEX speedup with varying instruction prefetchers"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        InstPrefetcherKind::TABLE3
+            .into_iter()
+            .flat_map(|kind| {
+                let (base, ipex) = pair_for(kind);
+                let mut pts = suite_points(&base, &trace);
+                pts.extend(suite_points(&ipex, &trace));
+                pts
+            })
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            prefetcher: &'static str,
+            ipex_speedup: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let mut rows = Vec::new();
+        for kind in InstPrefetcherKind::TABLE3 {
+            let (base, ipex) = pair_for(kind);
+            let b = cx.suite(&base, &trace);
+            let i = cx.suite(&ipex, &trace);
+            let (_, g) = speedups(&b, &i);
+            println!("{:12} IPEX speedup {:.4}", kind.name(), g);
+            rows.push(Row {
+                prefetcher: kind.name(),
+                ipex_speedup: g,
+            });
+        }
+        println!("(paper: Sequential 8.96% / Markov 7.89% / TIFS 9.05%)");
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 4: IPEX's gmean speedup with different data prefetchers (the
+//! instruction prefetcher stays at the default sequential).
+
+use ehs_prefetch::DataPrefetcherKind;
+use ehs_sim::prelude::*;
+use serde::Serialize;
+
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sweep::SimPoint;
+use crate::{banner, speedups};
+
+fn pair_for(kind: DataPrefetcherKind) -> (SimConfig, SimConfig) {
+    let mut base = base_cfg();
+    base.data_prefetcher = kind;
+    let mut ipex = ipex_both_cfg();
+    ipex.data_prefetcher = kind;
+    (base, ipex)
+}
+
+pub struct Tab4;
+
+impl Figure for Tab4 {
+    fn id(&self) -> &'static str {
+        "tab4"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "tab4_data_prefetchers"
+    }
+
+    fn title(&self) -> &'static str {
+        "IPEX speedup with varying data prefetchers"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        let trace = rfhome();
+        DataPrefetcherKind::TABLE4
+            .into_iter()
+            .flat_map(|kind| {
+                let (base, ipex) = pair_for(kind);
+                let mut pts = suite_points(&base, &trace);
+                pts.extend(suite_points(&ipex, &trace));
+                pts
+            })
+            .collect()
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            prefetcher: &'static str,
+            ipex_speedup: f64,
+        }
+
+        banner(self.id(), self.title());
+        let trace = rfhome();
+        let mut rows = Vec::new();
+        for kind in DataPrefetcherKind::TABLE4 {
+            let (base, ipex) = pair_for(kind);
+            let b = cx.suite(&base, &trace);
+            let i = cx.suite(&ipex, &trace);
+            let (_, g) = speedups(&b, &i);
+            println!("{:12} IPEX speedup {:.4}", kind.name(), g);
+            rows.push(Row {
+                prefetcher: kind.name(),
+                ipex_speedup: g,
+            });
+        }
+        println!("(paper: Stride 8.96% / GHB 8.83% / BO 8.76%)");
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -34,7 +34,7 @@ mod trace;
 pub use breakdown::EnergyBreakdown;
 pub use capacitor::{Capacitor, CapacitorConfig};
 pub use model::{min_useful_probability, ComputeEnergy, EnergyModel};
-pub use trace::{PowerTrace, TraceKind, TRACE_SAMPLE_US};
+pub use trace::{PowerTrace, TraceKind, TraceSpec, TRACE_SAMPLE_US};
 
 /// Core clock frequency modelled throughout the workspace (200 MHz).
 pub const CLOCK_HZ: f64 = 200.0e6;

@@ -127,6 +127,86 @@ impl TraceKind {
     }
 }
 
+/// A self-describing *recipe* for a power trace.
+///
+/// Where [`PowerTrace`] is hundreds of kilobytes of samples, a
+/// `TraceSpec` is a few words that deterministically reproduce it — the
+/// trace's *identity* for content-addressed caching: two simulation
+/// points with equal specs received byte-identical input power, so a
+/// spec (not the sample vector) belongs in a cache key. The sweep
+/// engine in `ehs-bench` keys every simulation point on
+/// `(workload, config, trace spec, version salt)` and synthesises the
+/// actual samples at most once per spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum TraceSpec {
+    /// A [`TraceKind::synthesize`] trace: `(kind, seed, samples)`.
+    Synthetic {
+        /// Which energy environment to synthesize.
+        kind: TraceKind,
+        /// RNG seed (kind-salted internally, see [`TraceKind::synthesize`]).
+        seed: u64,
+        /// Number of 10 µs samples.
+        samples: usize,
+    },
+    /// A constant-power trace (tests, ideal-supply experiments).
+    Constant {
+        /// Power during every sample, milliwatts.
+        power_mw: f64,
+        /// Number of 10 µs samples.
+        samples: usize,
+    },
+}
+
+impl TraceSpec {
+    /// The paper's default §6 environment: synthetic RFHome, seed 42,
+    /// 4 s of samples.
+    pub fn default_rfhome() -> TraceSpec {
+        TraceSpec::Synthetic {
+            kind: TraceKind::RfHome,
+            seed: 42,
+            samples: 400_000,
+        }
+    }
+
+    /// A synthetic spec for `kind` with the standard seed and length
+    /// (what Fig. 23 uses for every environment).
+    pub fn standard(kind: TraceKind) -> TraceSpec {
+        TraceSpec::Synthetic {
+            kind,
+            seed: 42,
+            samples: 400_000,
+        }
+    }
+
+    /// Materialises the trace this spec describes. Deterministic: equal
+    /// specs always produce equal traces.
+    pub fn synthesize(&self) -> PowerTrace {
+        match *self {
+            TraceSpec::Synthetic {
+                kind,
+                seed,
+                samples,
+            } => kind.synthesize(seed, samples),
+            TraceSpec::Constant { power_mw, samples } => PowerTrace::constant_mw(power_mw, samples),
+        }
+    }
+
+    /// Short human label (`"RFHome(seed=42,n=400000)"`).
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::Synthetic {
+                kind,
+                seed,
+                samples,
+            } => format!("{}(seed={seed},n={samples})", kind.name()),
+            TraceSpec::Constant { power_mw, samples } => {
+                format!("const({power_mw}mW,n={samples})")
+            }
+        }
+    }
+}
+
 /// A harvested-power trace: average input power per 10 µs interval.
 ///
 /// Traces repeat cyclically when the simulation outlives them, matching
@@ -239,6 +319,37 @@ impl PowerTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_reproduces_synthesis() {
+        let spec = TraceSpec::Synthetic {
+            kind: TraceKind::Solar,
+            seed: 9,
+            samples: 3000,
+        };
+        assert_eq!(spec.synthesize(), TraceKind::Solar.synthesize(9, 3000));
+        let c = TraceSpec::Constant {
+            power_mw: 25.0,
+            samples: 8,
+        };
+        assert_eq!(c.synthesize(), PowerTrace::constant_mw(25.0, 8));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            TraceSpec::default_rfhome(),
+            TraceSpec::standard(TraceKind::Thermal),
+            TraceSpec::Constant {
+                power_mw: 50.0,
+                samples: 16,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: TraceSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
+    }
 
     #[test]
     fn synthesis_is_deterministic() {

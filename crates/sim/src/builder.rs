@@ -1,0 +1,418 @@
+//! Validating, chainable construction of [`SimConfig`]s.
+//!
+//! The preset constructor zoo (`baseline()` / `ipex_both()` / ...) grew
+//! one ad-hoc name per paper configuration and still could not express
+//! most sweep points without field-poking. The builder replaces it:
+//!
+//! ```
+//! use ehs_sim::{Ipex, SimConfig};
+//!
+//! let cfg = SimConfig::builder()
+//!     .ipex(Ipex::Both)
+//!     .cache_kb(1)
+//!     .prefetch_degree(4)
+//!     .build();
+//! assert_eq!(cfg.icache.size_bytes, 1024);
+//! ```
+//!
+//! `build()` validates the whole configuration (cache geometry,
+//! capacitor voltage ordering, IPEX parameters, prefetch settings) and
+//! panics with a field-naming message on contradiction;
+//! [`SimConfigBuilder::try_build`] returns the error instead.
+
+use ehs_energy::{CapacitorConfig, EnergyModel};
+use ehs_mem::{CacheConfig, NvmConfig, NvmTech, BLOCK_SIZE};
+use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
+use ipex::IpexConfig;
+
+use crate::config::PrefetchMode;
+use crate::trace::TraceMode;
+use crate::SimConfig;
+
+/// Which caches IPEX throttles — the paper's three comparison points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ipex {
+    /// No IPEX anywhere: conventional, unthrottled prefetching (the
+    /// paper's NVSRAMCache baseline).
+    Off,
+    /// IPEX on the data prefetcher only ("+IPEX(D)").
+    Data,
+    /// IPEX on both prefetchers — the headline configuration
+    /// ("+IPEX(I+D)").
+    Both,
+}
+
+/// An invalid [`SimConfig`] under construction, naming the offending
+/// field(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SimConfig: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Chainable builder for [`SimConfig`]; start from
+/// [`SimConfig::builder`], finish with [`build`](Self::build) or
+/// [`try_build`](Self::try_build).
+///
+/// Defaults are the paper's Table-1 system with conventional
+/// (unthrottled) prefetching — `SimConfig::builder().build()` is the
+/// NVSRAMCache baseline.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+    prefetch: bool,
+    ipex: Ipex,
+    ipex_cfg: IpexConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+            prefetch: true,
+            ipex: Ipex::Off,
+            ipex_cfg: IpexConfig::paper_default(),
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Disables both prefetchers ("NVSRAMCache (No Prefetcher)").
+    /// Incompatible with [`ipex`](Self::ipex) other than [`Ipex::Off`].
+    pub fn no_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+
+    /// Selects which caches IPEX throttles (default: [`Ipex::Off`]).
+    pub fn ipex(mut self, which: Ipex) -> Self {
+        self.ipex = which;
+        self
+    }
+
+    /// Replaces the IPEX controller parameters applied to whichever
+    /// caches [`ipex`](Self::ipex) selects (default:
+    /// [`IpexConfig::paper_default`]).
+    pub fn ipex_config(mut self, cfg: IpexConfig) -> Self {
+        self.ipex_cfg = cfg;
+        self
+    }
+
+    /// Sets both caches to `kb` kilobytes (Table 1: 2 kB each).
+    pub fn cache_kb(self, kb: u32) -> Self {
+        self.cache_bytes(kb * 1024)
+    }
+
+    /// Sets both caches to `bytes` bytes.
+    pub fn cache_bytes(mut self, bytes: u32) -> Self {
+        self.cfg.icache.size_bytes = bytes;
+        self.cfg.dcache.size_bytes = bytes;
+        self
+    }
+
+    /// Sets both caches' associativity (Table 1: 4-way).
+    pub fn cache_assoc(mut self, ways: u32) -> Self {
+        self.cfg.icache.assoc = ways;
+        self.cfg.dcache.assoc = ways;
+        self
+    }
+
+    /// Replaces the ICache geometry wholesale.
+    pub fn icache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.icache = cache;
+        self
+    }
+
+    /// Replaces the DCache geometry wholesale.
+    pub fn dcache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.dcache = cache;
+        self
+    }
+
+    /// Prefetch-buffer entries per cache (Table 1: 4 × 16 B).
+    pub fn prefetch_buffer_entries(mut self, entries: usize) -> Self {
+        self.cfg.prefetch_buffer_entries = entries;
+        self
+    }
+
+    /// Instruction prefetcher (Table 1 default: sequential).
+    pub fn inst_prefetcher(mut self, kind: InstPrefetcherKind) -> Self {
+        self.cfg.inst_prefetcher = kind;
+        self
+    }
+
+    /// Data prefetcher (Table 1 default: stride).
+    pub fn data_prefetcher(mut self, kind: DataPrefetcherKind) -> Self {
+        self.cfg.data_prefetcher = kind;
+        self
+    }
+
+    /// Natural prefetch degree (Table 1: 2).
+    pub fn prefetch_degree(mut self, degree: u32) -> Self {
+        self.cfg.prefetch_degree = degree;
+        self
+    }
+
+    /// Replaces the main-memory parameters (Table 1: 16 MB ReRAM).
+    pub fn nvm(mut self, nvm: NvmConfig) -> Self {
+        self.cfg.nvm = nvm;
+        self
+    }
+
+    /// Main memory of `size_bytes` in the given technology, with the
+    /// documented capacity scaling for latency and energy.
+    pub fn nvm_tech(mut self, tech: NvmTech, size_bytes: u64) -> Self {
+        self.cfg.nvm = NvmConfig::for_tech(tech, size_bytes);
+        self
+    }
+
+    /// Replaces the capacitor parameters (Table 1: 0.47 µF).
+    pub fn capacitor(mut self, cap: CapacitorConfig) -> Self {
+        self.cfg.capacitor = cap;
+        self
+    }
+
+    /// The paper's capacitor electrical point at a different
+    /// capacitance (the Fig. 22 sweep).
+    pub fn capacitor_uf(mut self, uf: f64) -> Self {
+        self.cfg.capacitor = CapacitorConfig::with_capacitance_uf(uf);
+        self
+    }
+
+    /// Replaces the energy-model constants.
+    pub fn energy(mut self, model: EnergyModel) -> Self {
+        self.cfg.energy = model;
+        self
+    }
+
+    /// Zero-cost backup/restore — "NVSRAMCache (ideal)" of Fig. 11.
+    pub fn ideal_backup(mut self, ideal: bool) -> Self {
+        self.cfg.ideal_backup = ideal;
+        self
+    }
+
+    /// Fixed restore latency after reboot, cycles.
+    pub fn restore_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.restore_cycles = cycles;
+        self
+    }
+
+    /// Fixed backup latency on power failure, cycles.
+    pub fn backup_base_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.backup_base_cycles = cycles;
+        self
+    }
+
+    /// Safety limit on total simulated cycles.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.max_cycles = cycles;
+        self
+    }
+
+    /// Instruction latencies `[alu, mul, div, branch, jump]`.
+    pub fn latencies(mut self, latencies: [u64; 5]) -> Self {
+        self.cfg.latencies = latencies;
+        self
+    }
+
+    /// Event tracing mode (off by default).
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.cfg.trace = mode;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming every violated constraint.
+    pub fn try_build(self) -> Result<SimConfig, ConfigError> {
+        let SimConfigBuilder {
+            mut cfg,
+            prefetch,
+            ipex,
+            ipex_cfg,
+        } = self;
+
+        let mut problems = Vec::new();
+        if !prefetch && ipex != Ipex::Off {
+            problems.push(
+                "no_prefetch() conflicts with ipex(): IPEX throttles a prefetcher, so there \
+                 must be one to throttle"
+                    .to_owned(),
+            );
+        }
+        for (name, c) in [("icache", &cfg.icache), ("dcache", &cfg.dcache)] {
+            if c.size_bytes < BLOCK_SIZE {
+                problems.push(format!("{name}: smaller than one {BLOCK_SIZE}-byte block"));
+            } else if c.assoc == 0 {
+                problems.push(format!("{name}: associativity must be at least 1"));
+            } else if c.size_bytes % (BLOCK_SIZE * c.assoc) != 0 {
+                problems.push(format!(
+                    "{name}: capacity must be a multiple of assoc * block size"
+                ));
+            } else if !c.num_sets().is_power_of_two() {
+                problems.push(format!(
+                    "{name}: number of sets must be a power of two (got {})",
+                    c.num_sets()
+                ));
+            }
+        }
+        if cfg.prefetch_buffer_entries == 0 {
+            problems.push("prefetch_buffer_entries: must be at least 1".to_owned());
+        }
+        if cfg.prefetch_degree == 0 {
+            problems.push("prefetch_degree: must be at least 1".to_owned());
+        }
+        if cfg.max_cycles == 0 {
+            problems.push("max_cycles: must be positive".to_owned());
+        }
+        if cfg.latencies.contains(&0) {
+            problems.push("latencies: every instruction class takes at least one cycle".to_owned());
+        }
+        let cap = &cfg.capacitor;
+        if cap.capacitance_uf <= 0.0 {
+            problems.push("capacitor: capacitance must be positive".to_owned());
+        }
+        if !(cap.v_min < cap.v_backup && cap.v_backup < cap.v_on && cap.v_on <= cap.v_max) {
+            problems.push(
+                "capacitor: voltage levels must satisfy v_min < v_backup < v_on <= v_max"
+                    .to_owned(),
+            );
+        }
+        if ipex != Ipex::Off {
+            if ipex_cfg.threshold_count == 0 {
+                problems.push("ipex_config: threshold_count must be at least 1".to_owned());
+            }
+            if ipex_cfg.initial_degree == 0 || ipex_cfg.max_degree < ipex_cfg.initial_degree {
+                problems.push(
+                    "ipex_config: need 1 <= initial_degree <= max_degree for the degree ladder"
+                        .to_owned(),
+                );
+            }
+            if ipex_cfg.voltage_step_v <= 0.0 {
+                problems.push("ipex_config: voltage_step_v must be positive".to_owned());
+            }
+        }
+        if !problems.is_empty() {
+            return Err(ConfigError(problems.join("; ")));
+        }
+
+        let (inst_mode, data_mode) = if !prefetch {
+            (PrefetchMode::Off, PrefetchMode::Off)
+        } else {
+            match ipex {
+                Ipex::Off => (PrefetchMode::Conventional, PrefetchMode::Conventional),
+                Ipex::Data => (PrefetchMode::Conventional, PrefetchMode::Ipex(ipex_cfg)),
+                Ipex::Both => (PrefetchMode::Ipex(ipex_cfg), PrefetchMode::Ipex(ipex_cfg)),
+            }
+        };
+        cfg.inst_mode = inst_mode;
+        cfg.data_mode = data_mode;
+        Ok(cfg)
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if any constraint is
+    /// violated; use [`try_build`](Self::try_build) to handle the error.
+    pub fn build(self) -> SimConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_the_baseline() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.icache.size_bytes, 2048);
+        assert!(matches!(cfg.inst_mode, PrefetchMode::Conventional));
+        assert!(matches!(cfg.data_mode, PrefetchMode::Conventional));
+        assert!(!cfg.ideal_backup);
+    }
+
+    #[test]
+    fn ipex_placements() {
+        let both = SimConfig::builder().ipex(Ipex::Both).build();
+        assert!(matches!(both.inst_mode, PrefetchMode::Ipex(_)));
+        assert!(matches!(both.data_mode, PrefetchMode::Ipex(_)));
+        let data = SimConfig::builder().ipex(Ipex::Data).build();
+        assert!(matches!(data.inst_mode, PrefetchMode::Conventional));
+        assert!(matches!(data.data_mode, PrefetchMode::Ipex(_)));
+    }
+
+    #[test]
+    fn no_prefetch_disables_both() {
+        let cfg = SimConfig::builder().no_prefetch().build();
+        assert!(!cfg.inst_mode.enabled());
+        assert!(!cfg.data_mode.enabled());
+    }
+
+    #[test]
+    fn chained_geometry() {
+        let cfg = SimConfig::builder()
+            .ipex(Ipex::Both)
+            .cache_kb(1)
+            .cache_assoc(2)
+            .prefetch_buffer_entries(8)
+            .prefetch_degree(4)
+            .capacitor_uf(47.0)
+            .ideal_backup(true)
+            .build();
+        assert_eq!(cfg.icache.size_bytes, 1024);
+        assert_eq!(cfg.dcache.assoc, 2);
+        assert_eq!(cfg.prefetch_buffer_entries, 8);
+        assert_eq!(cfg.prefetch_degree, 4);
+        assert!((cfg.capacitor.capacitance_uf - 47.0).abs() < 1e-12);
+        assert!(cfg.ideal_backup);
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let err = SimConfig::builder().cache_bytes(100).try_build();
+        assert!(err.is_err(), "non-power-of-two sets must be rejected");
+        let err = SimConfig::builder()
+            .no_prefetch()
+            .ipex(Ipex::Both)
+            .try_build()
+            .unwrap_err();
+        assert!(err.0.contains("no_prefetch"), "{err}");
+        let err = SimConfig::builder().prefetch_degree(0).try_build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn custom_ipex_config_is_applied() {
+        let ic = IpexConfig {
+            voltage_step_v: 0.15,
+            ..IpexConfig::paper_default()
+        };
+        let cfg = SimConfig::builder()
+            .ipex(Ipex::Both)
+            .ipex_config(ic)
+            .build();
+        match cfg.inst_mode {
+            PrefetchMode::Ipex(c) => assert!((c.voltage_step_v - 0.15).abs() < 1e-12),
+            other => panic!("expected Ipex mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn build_panics_on_invalid() {
+        SimConfig::builder().cache_assoc(0).build();
+    }
+}

@@ -1,0 +1,189 @@
+//! Canonical serialization and FNV-1a hashing for content-addressed
+//! simulation-point keys.
+//!
+//! The sweep engine in `ehs-bench` memoizes [`SimResult`](crate::SimResult)s
+//! under a digest of the *inputs* that determine them: workload name,
+//! [`SimConfig`](crate::SimConfig), trace identity, and a simulator
+//! version salt. For that digest to be stable it must not depend on
+//! incidental serialization details, so keys are derived from a
+//! *canonical* JSON rendering:
+//!
+//! * map keys are sorted recursively (struct-field declaration order and
+//!   any future field reordering cannot change the digest),
+//! * output is compact (no whitespace),
+//! * floats render exactly as the vendored `serde_json` writer renders
+//!   them (shortest round-trip, integral values as `1.0`), so a config
+//!   that round-trips through JSON hashes identically.
+//!
+//! The digest itself is 64-bit FNV-1a — the same construction the
+//! verification oracle already uses for memory digests: tiny, portable,
+//! and deterministic across platforms (unlike `DefaultHasher`, which is
+//! randomly seeded per process).
+
+use serde::{Content, Serialize};
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders any serializable value as canonical JSON: compact, with all
+/// map keys sorted recursively.
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_canonical(&value.to_content(), &mut out);
+    out
+}
+
+/// Convenience: the FNV-1a 64 digest of a value's canonical JSON.
+pub fn canonical_digest<T: Serialize + ?Sized>(value: &T) -> u64 {
+    fnv1a_64(canonical_json(value).as_bytes())
+}
+
+fn write_canonical(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_str(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            let mut sorted: Vec<&(String, Content)> = entries.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            out.push('{');
+            for (i, (k, v)) in sorted.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(k, out);
+                out.push(':');
+                write_canonical(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Matches the vendored `serde_json` float rendering so values hash the
+/// same whether derived in-process or re-parsed from a cache file.
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_keys_are_sorted_recursively() {
+        let inner = Content::Map(vec![
+            ("z".into(), Content::U64(1)),
+            ("a".into(), Content::U64(2)),
+        ]);
+        let outer = Content::Map(vec![
+            ("beta".into(), inner.clone()),
+            ("alpha".into(), Content::Bool(true)),
+        ]);
+        let mut out = String::new();
+        write_canonical(&outer, &mut out);
+        assert_eq!(out, r#"{"alpha":true,"beta":{"a":2,"z":1}}"#);
+    }
+
+    #[test]
+    fn field_order_does_not_change_digest() {
+        let forward = Content::Map(vec![
+            ("size_bytes".into(), Content::U64(2048)),
+            ("assoc".into(), Content::U64(4)),
+        ]);
+        let reversed = Content::Map(vec![
+            ("assoc".into(), Content::U64(4)),
+            ("size_bytes".into(), Content::U64(2048)),
+        ]);
+        let (mut a, mut b) = (String::new(), String::new());
+        write_canonical(&forward, &mut a);
+        write_canonical(&reversed, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(fnv1a_64(a.as_bytes()), fnv1a_64(b.as_bytes()));
+    }
+
+    #[test]
+    fn config_digest_is_stable_across_clones_and_runs() {
+        let a = canonical_digest(&SimConfig::default());
+        let b = canonical_digest(&SimConfig::default().clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_digest_distinguishes_configs() {
+        let base = SimConfig::default();
+        let mut bigger = SimConfig::default();
+        bigger.icache.size_bytes = 4096;
+        assert_ne!(canonical_digest(&base), canonical_digest(&bigger));
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        let mut out = String::new();
+        write_canonical(
+            &Content::Seq(vec![
+                Content::F64(1.0),
+                Content::F64(0.47),
+                Content::F64(f64::NAN),
+            ]),
+            &mut out,
+        );
+        assert_eq!(out, "[1.0,0.47,null]");
+    }
+}

@@ -1,11 +1,12 @@
 //! Simulator configuration and the paper's standard presets.
 
-use ehs_energy::{CapacitorConfig, EnergyModel, PowerTrace, TraceKind};
+use ehs_energy::{CapacitorConfig, EnergyModel, PowerTrace, TraceSpec};
 use ehs_mem::{CacheConfig, NvmConfig};
 use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
 use ipex::IpexConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::builder::{Ipex, SimConfigBuilder};
 use crate::trace::TraceMode;
 
 /// Core cycles per 10 µs power-trace sample (200 MHz × 10 µs).
@@ -72,10 +73,10 @@ pub struct SimConfig {
     pub trace: TraceMode,
 }
 
-impl SimConfig {
-    /// The paper's baseline: NVSRAMCache with conventional sequential +
-    /// stride prefetchers (Table 1).
-    pub fn baseline() -> SimConfig {
+/// The paper's Table-1 system with conventional (unthrottled)
+/// prefetching — identical to `SimConfig::builder().build()`.
+impl Default for SimConfig {
+    fn default() -> SimConfig {
         SimConfig {
             icache: CacheConfig::paper_default(),
             dcache: CacheConfig::paper_default(),
@@ -96,32 +97,40 @@ impl SimConfig {
             trace: TraceMode::Off,
         }
     }
+}
+
+impl SimConfig {
+    /// Starts a validating, chainable [`SimConfigBuilder`] from the
+    /// Table-1 defaults — the one way to construct configurations:
+    /// `SimConfig::builder().ipex(Ipex::Both).cache_kb(1).build()`.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// The paper's baseline: NVSRAMCache with conventional sequential +
+    /// stride prefetchers (Table 1).
+    #[deprecated(note = "use `SimConfig::builder().build()`")]
+    pub fn baseline() -> SimConfig {
+        SimConfig::builder().build()
+    }
 
     /// Baseline with both prefetchers disabled ("No Prefetcher").
+    #[deprecated(note = "use `SimConfig::builder().no_prefetch().build()`")]
     pub fn no_prefetch() -> SimConfig {
-        SimConfig {
-            inst_mode: PrefetchMode::Off,
-            data_mode: PrefetchMode::Off,
-            ..SimConfig::baseline()
-        }
+        SimConfig::builder().no_prefetch().build()
     }
 
     /// Baseline plus IPEX on the data prefetcher only.
+    #[deprecated(note = "use `SimConfig::builder().ipex(Ipex::Data).build()`")]
     pub fn ipex_data_only() -> SimConfig {
-        SimConfig {
-            data_mode: PrefetchMode::Ipex(IpexConfig::paper_default()),
-            ..SimConfig::baseline()
-        }
+        SimConfig::builder().ipex(Ipex::Data).build()
     }
 
     /// Baseline plus IPEX on both prefetchers (the headline
     /// configuration).
+    #[deprecated(note = "use `SimConfig::builder().ipex(Ipex::Both).build()`")]
     pub fn ipex_both() -> SimConfig {
-        SimConfig {
-            inst_mode: PrefetchMode::Ipex(IpexConfig::paper_default()),
-            data_mode: PrefetchMode::Ipex(IpexConfig::paper_default()),
-            ..SimConfig::baseline()
-        }
+        SimConfig::builder().ipex(Ipex::Both).build()
     }
 
     /// This configuration with the ideal (zero-cost) backup/restore.
@@ -145,7 +154,21 @@ impl SimConfig {
 
     /// The default power trace used throughout §6: synthetic RFHome.
     pub fn default_trace() -> PowerTrace {
-        TraceKind::RfHome.synthesize(42, 400_000)
+        SimConfig::default_trace_spec().synthesize()
+    }
+
+    /// The identity of [`SimConfig::default_trace`] as a cacheable
+    /// [`TraceSpec`] — what sweep points should carry instead of the
+    /// samples themselves.
+    pub fn default_trace_spec() -> TraceSpec {
+        TraceSpec::default_rfhome()
+    }
+
+    /// Canonical JSON rendering of this configuration (compact, map
+    /// keys sorted recursively): the form that content-addressed cache
+    /// keys are derived from. See [`crate::canon`].
+    pub fn canonical_json(&self) -> String {
+        crate::canon::canonical_json(self)
     }
 }
 
@@ -155,7 +178,7 @@ mod tests {
 
     #[test]
     fn baseline_matches_table1() {
-        let c = SimConfig::baseline();
+        let c = SimConfig::default();
         assert_eq!(c.icache.size_bytes, 2048);
         assert_eq!(c.icache.assoc, 4);
         assert_eq!(c.prefetch_buffer_entries, 4);
@@ -164,25 +187,51 @@ mod tests {
         assert!(matches!(c.inst_mode, PrefetchMode::Conventional));
     }
 
+    /// The deprecated preset wrappers must keep producing exactly what
+    /// their builder replacements produce.
     #[test]
-    fn presets_differ_as_expected() {
-        assert!(!SimConfig::no_prefetch().inst_mode.enabled());
-        assert!(matches!(
-            SimConfig::ipex_both().inst_mode,
-            PrefetchMode::Ipex(_)
-        ));
-        let ideal = SimConfig::baseline().with_ideal_backup();
-        assert!(ideal.ideal_backup);
-        assert!(matches!(
-            SimConfig::ipex_data_only().inst_mode,
-            PrefetchMode::Conventional
-        ));
+    #[allow(deprecated)]
+    fn deprecated_presets_match_builder() {
+        assert_eq!(
+            SimConfig::baseline().canonical_json(),
+            SimConfig::builder().build().canonical_json()
+        );
+        assert_eq!(
+            SimConfig::no_prefetch().canonical_json(),
+            SimConfig::builder().no_prefetch().build().canonical_json()
+        );
+        assert_eq!(
+            SimConfig::ipex_data_only().canonical_json(),
+            SimConfig::builder()
+                .ipex(Ipex::Data)
+                .build()
+                .canonical_json()
+        );
+        assert_eq!(
+            SimConfig::ipex_both().canonical_json(),
+            SimConfig::builder()
+                .ipex(Ipex::Both)
+                .build()
+                .canonical_json()
+        );
     }
 
     #[test]
     fn cache_size_builder() {
-        let c = SimConfig::baseline().with_cache_size(512);
+        let c = SimConfig::default().with_cache_size(512);
         assert_eq!(c.icache.size_bytes, 512);
         assert_eq!(c.dcache.size_bytes, 512);
+    }
+
+    #[test]
+    fn default_trace_spec_matches_default_trace() {
+        // Spot-check only the first samples: synthesizing twice is cheap
+        // but comparing 400k f64s is not necessary.
+        let spec = SimConfig::default_trace_spec().synthesize();
+        let direct = SimConfig::default_trace();
+        assert_eq!(spec.len(), direct.len());
+        for i in 0..64 {
+            assert_eq!(spec.power_mw_at(i), direct.power_mw_at(i));
+        }
     }
 }

@@ -18,19 +18,45 @@
 //! use ehs_sim::{Machine, SimConfig};
 //!
 //! let workload = ehs_workloads::by_name("fft").unwrap();
-//! let mut machine = Machine::new(SimConfig::baseline(), &workload.program());
+//! let mut machine = Machine::new(SimConfig::builder().build(), &workload.program());
 //! let result = machine.run().expect("completes within the cycle budget");
 //! println!("cycles: {}", result.stats.total_cycles);
 //! ```
 
+mod builder;
+pub mod canon;
 mod config;
 mod machine;
 mod result;
 mod trace;
 
+pub use builder::{ConfigError, Ipex, SimConfigBuilder};
 pub use config::{PrefetchMode, SimConfig, CYCLES_PER_TRACE_SAMPLE};
 pub use machine::{FaultPlan, Machine, SimError};
 pub use result::{SimResult, SimStats};
 pub use trace::{
     CountingSink, EventCounts, JsonlSink, NullSink, PathId, SimEvent, TraceMode, TraceSink, Tracer,
 };
+
+/// The one-stop import for simulator users: machine, configuration
+/// builder, results, errors and trace sinks, plus the power-trace types
+/// from `ehs-energy` that every caller needs alongside them.
+///
+/// ```
+/// use ehs_sim::prelude::*;
+///
+/// let cfg = SimConfig::builder().ipex(Ipex::Both).build();
+/// let trace = TraceSpec::default_rfhome();
+/// # let _ = (cfg, trace);
+/// ```
+pub mod prelude {
+    pub use crate::builder::{ConfigError, Ipex, SimConfigBuilder};
+    pub use crate::config::{PrefetchMode, SimConfig};
+    pub use crate::machine::{FaultPlan, Machine, SimError};
+    pub use crate::result::{SimResult, SimStats};
+    pub use crate::trace::{
+        CountingSink, EventCounts, JsonlSink, NullSink, PathId, SimEvent, TraceMode, TraceSink,
+        Tracer,
+    };
+    pub use ehs_energy::{PowerTrace, TraceKind, TraceSpec};
+}

@@ -844,6 +844,7 @@ fn issue_prefetch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Ipex;
     use ehs_energy::CapacitorConfig;
     use ehs_isa::asm;
 
@@ -884,7 +885,7 @@ mod tests {
 
     #[test]
     fn completes_under_steady_power_without_outage() {
-        let r = steady_power(SimConfig::baseline());
+        let r = steady_power(SimConfig::default());
         assert_eq!(r.stats.power_cycles, 1);
         assert_eq!(r.stats.off_cycles, 0);
         assert!(r.stats.instructions > 1000);
@@ -893,8 +894,8 @@ mod tests {
 
     #[test]
     fn prefetching_reduces_cycles_on_streaming_code() {
-        let no_pf = steady_power(SimConfig::no_prefetch());
-        let pf = steady_power(SimConfig::baseline());
+        let no_pf = steady_power(SimConfig::builder().no_prefetch().build());
+        let pf = steady_power(SimConfig::default());
         assert!(
             pf.stats.total_cycles < no_pf.stats.total_cycles,
             "prefetch {} >= none {}",
@@ -909,7 +910,7 @@ mod tests {
     fn weak_power_causes_outages_and_checkpoints() {
         // 2 mW << draw: frequent outages.
         let trace = PowerTrace::constant_mw(2.0, 16);
-        let mut m = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace);
+        let mut m = Machine::with_trace(SimConfig::default(), &tiny_program(), trace);
         let r = m.run().unwrap();
         assert!(r.stats.power_cycles > 1, "expected outages");
         assert!(r.stats.off_cycles > 0);
@@ -923,11 +924,11 @@ mod tests {
     #[test]
     fn ideal_backup_is_faster_and_cheaper() {
         let trace = PowerTrace::constant_mw(2.0, 16);
-        let real = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace.clone())
+        let real = Machine::with_trace(SimConfig::default(), &tiny_program(), trace.clone())
             .run()
             .unwrap();
         let ideal = Machine::with_trace(
-            SimConfig::baseline().with_ideal_backup(),
+            SimConfig::default().with_ideal_backup(),
             &tiny_program(),
             trace,
         )
@@ -940,12 +941,20 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let trace = PowerTrace::constant_mw(3.0, 16);
-        let a = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace.clone())
-            .run()
-            .unwrap();
-        let b = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace)
-            .run()
-            .unwrap();
+        let a = Machine::with_trace(
+            SimConfig::builder().ipex(Ipex::Both).build(),
+            &tiny_program(),
+            trace.clone(),
+        )
+        .run()
+        .unwrap();
+        let b = Machine::with_trace(
+            SimConfig::builder().ipex(Ipex::Both).build(),
+            &tiny_program(),
+            trace,
+        )
+        .run()
+        .unwrap();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.nvm, b.nvm);
     }
@@ -953,9 +962,13 @@ mod tests {
     #[test]
     fn ipex_throttles_under_weak_power() {
         let trace = PowerTrace::constant_mw(2.0, 16);
-        let r = Machine::with_trace(SimConfig::ipex_both(), &tiny_program(), trace)
-            .run()
-            .unwrap();
+        let r = Machine::with_trace(
+            SimConfig::builder().ipex(Ipex::Both).build(),
+            &tiny_program(),
+            trace,
+        )
+        .run()
+        .unwrap();
         let ipex_d = r.ipex_d.expect("IPEX enabled on DCache");
         assert!(
             ipex_d.throttled > 0,
@@ -969,8 +982,10 @@ mod tests {
         // 0.001 mW can never recharge the capacitor after the first
         // outage.
         let trace = PowerTrace::constant_mw(0.001, 16);
-        let mut cfg = SimConfig::baseline();
-        cfg.max_cycles = 5_000_000;
+        let cfg = SimConfig {
+            max_cycles: 5_000_000,
+            ..SimConfig::default()
+        };
         let err = Machine::with_trace(cfg, &tiny_program(), trace)
             .run()
             .unwrap_err();
@@ -979,7 +994,7 @@ mod tests {
 
     #[test]
     fn energy_buckets_are_populated() {
-        let r = steady_power(SimConfig::baseline());
+        let r = steady_power(SimConfig::default());
         assert!(r.energy.cache_nj > 0.0);
         assert!(r.energy.memory_nj > 0.0);
         assert!(r.energy.compute_nj > 0.0);
@@ -989,11 +1004,13 @@ mod tests {
     #[test]
     fn larger_capacitor_means_fewer_power_cycles() {
         let trace = PowerTrace::constant_mw(3.0, 16);
-        let small = Machine::with_trace(SimConfig::baseline(), &tiny_program(), trace.clone())
+        let small = Machine::with_trace(SimConfig::default(), &tiny_program(), trace.clone())
             .run()
             .unwrap();
-        let mut big_cfg = SimConfig::baseline();
-        big_cfg.capacitor = CapacitorConfig::with_capacitance_uf(47.0);
+        let big_cfg = SimConfig {
+            capacitor: CapacitorConfig::with_capacitance_uf(47.0),
+            ..SimConfig::default()
+        };
         let big = Machine::with_trace(big_cfg, &tiny_program(), trace)
             .run()
             .unwrap();
@@ -1006,7 +1023,7 @@ mod tests {
             ".text\nmain:\n li a1, 0x7ffffff\n slli a1, a1, 4\n lw a0, 0(a1)\n halt\n",
         )
         .unwrap();
-        let err = Machine::with_trace(SimConfig::baseline(), &p, PowerTrace::constant_mw(50.0, 4))
+        let err = Machine::with_trace(SimConfig::default(), &p, PowerTrace::constant_mw(50.0, 4))
             .run()
             .unwrap_err();
         assert!(matches!(err, SimError::Exec(_)));

@@ -4,9 +4,8 @@
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use ehs_energy::PowerTrace;
 use ehs_isa::{asm, Program};
-use ehs_sim::{EventCounts, JsonlSink, Machine, SimConfig, SimEvent, SimResult, TraceMode};
+use ehs_sim::prelude::*;
 use proptest::prelude::*;
 
 /// ~60k cycles of streaming loads/stores: enough to exercise prefetch
@@ -38,10 +37,10 @@ fn streaming_program() -> Program {
 
 fn preset(which: u8) -> SimConfig {
     match which {
-        0 => SimConfig::no_prefetch(),
-        1 => SimConfig::baseline(),
-        2 => SimConfig::ipex_both(),
-        _ => SimConfig::ipex_data_only(),
+        0 => SimConfig::builder().no_prefetch().build(),
+        1 => SimConfig::default(),
+        2 => SimConfig::builder().ipex(Ipex::Both).build(),
+        _ => SimConfig::builder().ipex(Ipex::Data).build(),
     }
 }
 
@@ -141,7 +140,7 @@ fn traced_jsonl_run(cfg: &SimConfig, mw: f64) -> (Vec<u8>, EventCounts, SimResul
 
 #[test]
 fn jsonl_trace_is_deterministic_and_round_trips() {
-    let cfg = SimConfig::ipex_both();
+    let cfg = SimConfig::builder().ipex(Ipex::Both).build();
     // 3 mW forces several outages on the streaming program.
     let (bytes_a, counts_a, result_a) = traced_jsonl_run(&cfg, 3.0);
     let (bytes_b, counts_b, result_b) = traced_jsonl_run(&cfg, 3.0);
@@ -175,9 +174,12 @@ fn jsonl_trace_is_deterministic_and_round_trips() {
 #[test]
 fn trace_mode_jsonl_writes_the_configured_file() {
     let path = std::env::temp_dir().join(format!("ehs-trace-test-{}.jsonl", std::process::id()));
-    let cfg = SimConfig::ipex_both().with_trace_mode(TraceMode::Jsonl {
-        path: path.to_str().unwrap().into(),
-    });
+    let cfg = SimConfig::builder()
+        .ipex(Ipex::Both)
+        .build()
+        .with_trace_mode(TraceMode::Jsonl {
+            path: path.to_str().unwrap().into(),
+        });
     let trace = PowerTrace::constant_mw(3.0, 16);
     let mut m = Machine::with_trace(cfg, &streaming_program(), trace);
     let r = m.run().expect("completes");
@@ -197,7 +199,11 @@ fn trace_mode_jsonl_writes_the_configured_file() {
 #[test]
 fn disabled_tracing_records_nothing() {
     let trace = PowerTrace::constant_mw(5.0, 16);
-    let mut m = Machine::with_trace(SimConfig::ipex_both(), &streaming_program(), trace);
+    let mut m = Machine::with_trace(
+        SimConfig::builder().ipex(Ipex::Both).build(),
+        &streaming_program(),
+        trace,
+    );
     m.run().expect("completes");
     assert_eq!(*m.trace_counts(), EventCounts::default());
 }

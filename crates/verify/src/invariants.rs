@@ -394,7 +394,7 @@ impl TraceSink for InvariantSink {
 mod tests {
     use super::*;
     use ehs_energy::PowerTrace;
-    use ehs_sim::Machine;
+    use ehs_sim::{Ipex, Machine};
 
     fn run_with_sink(cfg: SimConfig, mw: f64) -> Vec<String> {
         let w = ehs_workloads::by_name("strings").unwrap();
@@ -407,13 +407,16 @@ mod tests {
 
     #[test]
     fn invariants_hold_under_steady_power() {
-        let v = run_with_sink(SimConfig::baseline(), 50.0);
+        let v = run_with_sink(SimConfig::default(), 50.0);
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn invariants_hold_across_outages() {
-        for cfg in [SimConfig::baseline(), SimConfig::ipex_both()] {
+        for cfg in [
+            SimConfig::default(),
+            SimConfig::builder().ipex(Ipex::Both).build(),
+        ] {
             let v = run_with_sink(cfg, 5.0);
             assert!(v.is_empty(), "{v:?}");
         }
@@ -421,7 +424,7 @@ mod tests {
 
     #[test]
     fn synthetic_unmatched_restore_is_flagged() {
-        let cfg = SimConfig::baseline();
+        let cfg = SimConfig::default();
         let mut sink = InvariantSink::for_config(&cfg);
         sink.emit(&SimEvent::Restore {
             cycle: 10,
@@ -436,7 +439,7 @@ mod tests {
 
     #[test]
     fn synthetic_double_issue_is_flagged() {
-        let cfg = SimConfig::baseline();
+        let cfg = SimConfig::default();
         let mut sink = InvariantSink::for_config(&cfg);
         for _ in 0..2 {
             sink.emit(&SimEvent::PrefetchIssued {

@@ -8,7 +8,7 @@
 
 use ehs_energy::{PowerTrace, TraceKind};
 use ehs_isa::{ExecError, Interpreter, Program, Reg};
-use ehs_sim::{FaultPlan, Machine, SimConfig, SimError};
+use ehs_sim::{FaultPlan, Ipex, Machine, SimConfig, SimError};
 use ehs_workloads::Workload;
 use ipex::IpexConfig;
 
@@ -279,14 +279,15 @@ impl ConfigId {
     /// Builds the corresponding simulator configuration.
     pub fn build(self) -> SimConfig {
         match self {
-            ConfigId::Baseline => SimConfig::baseline(),
-            // There is no inst-only preset; construct it from baseline.
+            ConfigId::Baseline => SimConfig::builder().build(),
+            // There is no inst-only builder shorthand; construct it
+            // from the default.
             ConfigId::IpexI => SimConfig {
                 inst_mode: ehs_sim::PrefetchMode::Ipex(IpexConfig::paper_default()),
-                ..SimConfig::baseline()
+                ..SimConfig::builder().build()
             },
-            ConfigId::IpexD => SimConfig::ipex_data_only(),
-            ConfigId::IpexBoth => SimConfig::ipex_both(),
+            ConfigId::IpexD => SimConfig::builder().ipex(Ipex::Data).build(),
+            ConfigId::IpexBoth => SimConfig::builder().ipex(Ipex::Both).build(),
         }
     }
 }
@@ -333,7 +334,7 @@ impl MatrixReport {
 pub fn run_matrix(seed: u64, samples: usize, check_invariants: bool) -> MatrixReport {
     let suite = &ehs_workloads::SUITE;
     // Golden pass: one functional run per workload, in parallel.
-    let mem_bytes = SimConfig::baseline().nvm.size_bytes as usize;
+    let mem_bytes = SimConfig::default().nvm.size_bytes as usize;
     let golden: Vec<(Program, Result<ArchState, ExecError>)> = run_parallel(suite, |w| {
         let program = w.program();
         let state = golden_state(&program, mem_bytes);
@@ -391,7 +392,7 @@ mod tests {
     fn oracle_matches_on_a_small_workload() {
         let w = ehs_workloads::by_name("strings").unwrap();
         let trace = TraceKind::RfHome.synthesize(5, 50_000);
-        let out = check_workload(w, &SimConfig::baseline(), &trace, None, true);
+        let out = check_workload(w, &SimConfig::default(), &trace, None, true);
         assert!(out.is_match(), "{out:?}");
     }
 
@@ -404,7 +405,7 @@ mod tests {
         let fault = FaultPlan {
             skip_restore_reg: Some(Reg::Sp),
         };
-        let out = check_workload(w, &SimConfig::baseline(), &trace, Some(fault), false);
+        let out = check_workload(w, &SimConfig::default(), &trace, Some(fault), false);
         assert!(out.is_divergence(), "{out:?}");
     }
 }

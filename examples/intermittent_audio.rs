@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example intermittent_audio`
 
 use ehs_repro::energy::TraceKind;
-use ehs_repro::sim::{Machine, SimConfig};
+use ehs_repro::sim::{Ipex, Machine, SimConfig};
 
 fn main() {
     let workload = ehs_repro::workloads::by_name("adpcmd").expect("known workload");
@@ -23,8 +23,8 @@ fn main() {
         let trace = kind.synthesize(7, 400_000);
         let mean = trace.mean_power_mw();
         for (label, cfg) in [
-            ("base", SimConfig::baseline()),
-            ("IPEX", SimConfig::ipex_both()),
+            ("base", SimConfig::default()),
+            ("IPEX", SimConfig::builder().ipex(Ipex::Both).build()),
         ] {
             let r = Machine::with_trace(cfg, &program, trace.clone())
                 .run()

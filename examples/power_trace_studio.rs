@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example power_trace_studio`
 
 use ehs_repro::energy::{PowerTrace, TraceKind};
-use ehs_repro::sim::{Machine, SimConfig};
+use ehs_repro::sim::{Ipex, Machine, SimConfig};
 
 fn main() {
     println!("== synthetic harvested-power environments (10 us samples) ==\n");
@@ -38,7 +38,7 @@ fn main() {
     // between chunks of execution.
     let workload = ehs_repro::workloads::by_name("gsme").expect("known workload");
     let mut machine = Machine::with_trace(
-        SimConfig::ipex_both(),
+        SimConfig::builder().ipex(Ipex::Both).build(),
         &workload.program(),
         TraceKind::RfHome.synthesize(42, 400_000),
     );

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example prefetcher_shootout`
 
 use ehs_repro::prefetch::{DataPrefetcherKind, InstPrefetcherKind};
-use ehs_repro::sim::{Machine, SimConfig};
+use ehs_repro::sim::{Ipex, Machine, SimConfig};
 
 fn main() {
     let workload = ehs_repro::workloads::by_name("patricia").expect("known workload");
@@ -20,9 +20,9 @@ fn main() {
         for dkind in DataPrefetcherKind::TABLE4 {
             for ipex_on in [false, true] {
                 let mut cfg = if ipex_on {
-                    SimConfig::ipex_both()
+                    SimConfig::builder().ipex(Ipex::Both).build()
                 } else {
-                    SimConfig::baseline()
+                    SimConfig::default()
                 };
                 cfg.inst_prefetcher = ikind;
                 cfg.data_prefetcher = dkind;

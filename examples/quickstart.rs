@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ehs_repro::sim::{Machine, SimConfig};
+use ehs_repro::sim::{Ipex, Machine, SimConfig};
 
 fn main() {
     let workload = ehs_repro::workloads::by_name("adpcmd").expect("known workload");
@@ -17,12 +17,16 @@ fn main() {
         program.footprint()
     );
 
-    let baseline = Machine::with_trace(SimConfig::baseline(), &program, trace.clone())
+    let baseline = Machine::with_trace(SimConfig::default(), &program, trace.clone())
         .run()
         .expect("baseline completes");
-    let ipex = Machine::with_trace(SimConfig::ipex_both(), &program, trace)
-        .run()
-        .expect("ipex completes");
+    let ipex = Machine::with_trace(
+        SimConfig::builder().ipex(Ipex::Both).build(),
+        &program,
+        trace,
+    )
+    .run()
+    .expect("ipex completes");
 
     for (name, r) in [
         ("conventional prefetchers", &baseline),

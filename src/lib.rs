@@ -20,7 +20,7 @@
 //!
 //! let workload = ehs_repro::workloads::by_name("gsmd").unwrap();
 //! let trace = ehs_repro::energy::PowerTrace::constant_mw(50.0, 16);
-//! let mut machine = Machine::with_trace(SimConfig::baseline(), &workload.program(), trace);
+//! let mut machine = Machine::with_trace(SimConfig::builder().build(), &workload.program(), trace);
 //! let result = machine.run().expect("completes");
 //! assert!(result.stats.instructions > 10_000);
 //! ```

@@ -3,7 +3,7 @@
 //! paper's "same amount of input energy" methodology).
 
 use ehs_repro::energy::TraceKind;
-use ehs_repro::sim::{Machine, SimConfig, SimResult};
+use ehs_repro::sim::{Ipex, Machine, SimConfig, SimResult};
 
 fn run(cfg: SimConfig) -> SimResult {
     let w = ehs_repro::workloads::by_name("jpegd").unwrap();
@@ -19,9 +19,9 @@ fn run(cfg: SimConfig) -> SimResult {
 #[test]
 fn identical_runs_are_bit_identical() {
     for cfg in [
-        SimConfig::baseline(),
-        SimConfig::ipex_both(),
-        SimConfig::no_prefetch(),
+        SimConfig::default(),
+        SimConfig::builder().ipex(Ipex::Both).build(),
+        SimConfig::builder().no_prefetch().build(),
     ] {
         let a = run(cfg.clone());
         let b = run(cfg);

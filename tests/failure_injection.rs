@@ -8,7 +8,7 @@
 
 use ehs_repro::energy::{CapacitorConfig, PowerTrace};
 use ehs_repro::isa::Reg;
-use ehs_repro::sim::{Machine, SimConfig, SimError};
+use ehs_repro::sim::{Ipex, Machine, SimConfig, SimError};
 use ehs_repro::verify::oracle::{golden_state, ArchState, Divergence};
 use ehs_repro::verify::run_parallel;
 
@@ -46,7 +46,11 @@ fn outage_storm_still_produces_correct_checksum() {
         .collect();
     let trace = PowerTrace::from_samples_mw(samples);
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
-    let mut m = Machine::with_trace(SimConfig::ipex_both(), &w.program(), trace);
+    let mut m = Machine::with_trace(
+        SimConfig::builder().ipex(Ipex::Both).build(),
+        &w.program(),
+        trace,
+    );
     let r = m.run().expect("survives the storm");
     assert!(
         r.stats.power_cycles > 50,
@@ -67,7 +71,11 @@ fn outage_storm_preserves_full_state_across_workloads() {
         let w = ehs_repro::workloads::by_name(name).unwrap();
         (
             *name,
-            check_full_state(w, SimConfig::ipex_both(), trace.clone()),
+            check_full_state(
+                w,
+                SimConfig::builder().ipex(Ipex::Both).build(),
+                trace.clone(),
+            ),
         )
     });
     for (name, power_cycles) in cycles {
@@ -85,7 +93,7 @@ fn tiny_capacitor_preserves_full_state_across_workloads() {
     // A very small capacitor: each power cycle fits only a handful of
     // instructions, but forward progress and state integrity must hold
     // for every access pattern.
-    let mut cfg = SimConfig::ipex_both();
+    let mut cfg = SimConfig::builder().ipex(Ipex::Both).build();
     cfg.capacitor = CapacitorConfig {
         capacitance_uf: 0.05,
         ..CapacitorConfig::paper_default()
@@ -107,8 +115,7 @@ fn tiny_capacitor_preserves_full_state_across_workloads() {
 #[test]
 fn dead_supply_reports_cycle_limit_not_hang() {
     let trace = PowerTrace::constant_mw(0.0001, 4);
-    let mut cfg = SimConfig::baseline();
-    cfg.max_cycles = 2_000_000;
+    let cfg = SimConfig::builder().max_cycles(2_000_000).build();
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
     let err = Machine::with_trace(cfg, &w.program(), trace)
         .run()
@@ -120,7 +127,7 @@ fn dead_supply_reports_cycle_limit_not_hang() {
 fn tiny_capacitor_still_makes_progress() {
     // A very small capacitor: each power cycle fits only a handful of
     // instructions, but forward progress must continue.
-    let mut cfg = SimConfig::ipex_both();
+    let mut cfg = SimConfig::builder().ipex(Ipex::Both).build();
     cfg.capacitor = CapacitorConfig {
         capacitance_uf: 0.05,
         ..CapacitorConfig::paper_default()
@@ -136,8 +143,7 @@ fn tiny_capacitor_still_makes_progress() {
 
 #[test]
 fn giant_capacitor_runs_in_one_power_cycle() {
-    let mut cfg = SimConfig::baseline();
-    cfg.capacitor = CapacitorConfig::with_capacitance_uf(1000.0);
+    let cfg = SimConfig::builder().capacitor_uf(1000.0).build();
     let w = ehs_repro::workloads::by_name("gsmd").unwrap();
     let r = Machine::with_trace(cfg, &w.program(), SimConfig::default_trace())
         .run()

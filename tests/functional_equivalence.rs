@@ -9,7 +9,7 @@
 
 use ehs_repro::energy::{PowerTrace, TraceKind};
 use ehs_repro::isa::Reg;
-use ehs_repro::sim::SimConfig;
+use ehs_repro::sim::{Ipex, SimConfig};
 use ehs_repro::verify::oracle::{check_program, golden_state};
 
 /// Golden-runs the workload, sanity-checks the reference checksum, then
@@ -39,7 +39,7 @@ fn full_state_survives_intermittent_execution_baseline() {
     for w in &ehs_repro::workloads::SUITE {
         check(
             w,
-            SimConfig::baseline(),
+            SimConfig::default(),
             TraceKind::RfHome.synthesize(9, 400_000),
         );
     }
@@ -50,7 +50,7 @@ fn full_state_survives_intermittent_execution_ipex() {
     for w in &ehs_repro::workloads::SUITE {
         check(
             w,
-            SimConfig::ipex_both(),
+            SimConfig::builder().ipex(Ipex::Both).build(),
             TraceKind::RfHome.synthesize(9, 400_000),
         );
     }
@@ -60,7 +60,11 @@ fn full_state_survives_intermittent_execution_ipex() {
 fn full_state_survives_under_every_trace_kind() {
     let w = ehs_repro::workloads::by_name("rijndaele").unwrap();
     for kind in TraceKind::ALL {
-        check(w, SimConfig::ipex_both(), kind.synthesize(3, 400_000));
+        check(
+            w,
+            SimConfig::builder().ipex(Ipex::Both).build(),
+            kind.synthesize(3, 400_000),
+        );
     }
 }
 
@@ -69,7 +73,7 @@ fn full_state_matches_under_steady_power_too() {
     let w = ehs_repro::workloads::by_name("fft").unwrap();
     check(
         w,
-        SimConfig::no_prefetch(),
+        SimConfig::builder().no_prefetch().build(),
         PowerTrace::constant_mw(50.0, 8),
     );
 }

@@ -1,7 +1,7 @@
 //! End-to-end behaviour of the IPEX controller inside the full system.
 
 use ehs_repro::energy::TraceKind;
-use ehs_repro::sim::{Machine, SimConfig, SimResult};
+use ehs_repro::sim::{Ipex, Machine, SimConfig, SimResult};
 
 fn run(cfg: SimConfig, name: &str) -> SimResult {
     let w = ehs_repro::workloads::by_name(name).unwrap();
@@ -12,8 +12,8 @@ fn run(cfg: SimConfig, name: &str) -> SimResult {
 
 #[test]
 fn ipex_reduces_prefetch_operations() {
-    let base = run(SimConfig::baseline(), "adpcmd");
-    let ipex = run(SimConfig::ipex_both(), "adpcmd");
+    let base = run(SimConfig::default(), "adpcmd");
+    let ipex = run(SimConfig::builder().ipex(Ipex::Both).build(), "adpcmd");
     assert!(
         ipex.prefetch_operations() < base.prefetch_operations(),
         "IPEX must issue fewer prefetches ({} vs {})",
@@ -29,8 +29,8 @@ fn ipex_reduces_prefetch_operations() {
 fn ipex_saves_energy_on_prefetch_heavy_workloads() {
     // adpcmd is one of the biggest IPEX winners in our calibration; a
     // regression here means the mechanism broke.
-    let base = run(SimConfig::baseline(), "adpcmd");
-    let ipex = run(SimConfig::ipex_both(), "adpcmd");
+    let base = run(SimConfig::default(), "adpcmd");
+    let ipex = run(SimConfig::builder().ipex(Ipex::Both).build(), "adpcmd");
     assert!(
         ipex.total_energy_nj() < base.total_energy_nj(),
         "IPEX energy {} >= baseline {}",
@@ -45,7 +45,7 @@ fn ipex_saves_energy_on_prefetch_heavy_workloads() {
 
 #[test]
 fn ipex_adapts_thresholds_across_power_cycles() {
-    let ipex = run(SimConfig::ipex_both(), "gsmd");
+    let ipex = run(SimConfig::builder().ipex(Ipex::Both).build(), "gsmd");
     let s = ipex.ipex_i.expect("stats");
     assert!(
         s.threshold_lowers + s.threshold_raises > 0,
@@ -56,7 +56,7 @@ fn ipex_adapts_thresholds_across_power_cycles() {
 
 #[test]
 fn ipex_never_corrupts_mode_accounting() {
-    let ipex = run(SimConfig::ipex_both(), "gsme");
+    let ipex = run(SimConfig::builder().ipex(Ipex::Both).build(), "gsme");
     let s = ipex.ipex_d.expect("stats");
     let rate = s.overall_throttle_rate();
     assert!((0.0..=1.0).contains(&rate));
@@ -65,8 +65,14 @@ fn ipex_never_corrupts_mode_accounting() {
 
 #[test]
 fn ideal_backup_never_slower() {
-    let real = run(SimConfig::ipex_both(), "basicm");
-    let ideal = run(SimConfig::ipex_both().with_ideal_backup(), "basicm");
+    let real = run(SimConfig::builder().ipex(Ipex::Both).build(), "basicm");
+    let ideal = run(
+        SimConfig::builder()
+            .ipex(Ipex::Both)
+            .build()
+            .with_ideal_backup(),
+        "basicm",
+    );
     assert!(ideal.stats.total_cycles <= real.stats.total_cycles);
     assert_eq!(ideal.energy.backup_restore_nj, 0.0);
 }
