@@ -3,10 +3,12 @@
 //! ```text
 //! cargo run --release -p ehs-bench --bin paper -- [flags]
 //!
-//!   --only fig10,tab2   render only the listed figures (short or file ids)
-//!   --no-cache          don't read or write results/.cache
-//!   --jobs N            worker-pool width (default: available parallelism)
-//!   --list              print the registry and exit
+//!   --only fig10,tab2        render only the listed figures (short or file ids)
+//!   --no-cache               don't read or write results/.cache
+//!   --jobs N                 worker-pool width (default: available parallelism)
+//!   --checkpoint-every N     crash-checkpoint in-flight simulations every N
+//!                            simulated cycles (default 250000000; 0 disables)
+//!   --list                   print the registry and exit
 //! ```
 //!
 //! All selected figures declare their simulation points up front; the
@@ -22,7 +24,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use ehs_bench::figures::{RenderCx, REGISTRY};
-use ehs_bench::sweep::{Sweep, SweepOptions};
+use ehs_bench::sweep::{CheckpointPolicy, Sweep, SweepOptions};
 use serde::{Deserialize, Serialize};
 
 /// One appended measurement in `BENCH_sweep.json`.
@@ -39,11 +41,58 @@ struct BenchRecord {
     disk_hits: u64,
     memo_hits: u64,
     in_flight_waits: u64,
+    checkpoint_every_cycles: u64,
+    resumed: u64,
+    cycles_simulated: u64,
+}
+
+/// The record shape before the checkpoint counters existed. Old entries
+/// migrate with the new counters zeroed instead of wiping the history.
+#[derive(Deserialize)]
+struct BenchRecordV0 {
+    unix_ms: u64,
+    wall_ms: u64,
+    jobs: u64,
+    cache_enabled: bool,
+    figures: u64,
+    requested: u64,
+    unique_points: u64,
+    simulated: u64,
+    disk_hits: u64,
+    memo_hits: u64,
+    in_flight_waits: u64,
+}
+
+/// Decodes one bench-log entry, trying the current shape first and the
+/// pre-checkpoint shape second; unrecognizable entries are dropped (the
+/// log is advisory).
+fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
+    if let Ok(r) = BenchRecord::from_content(c) {
+        return Some(r);
+    }
+    let old = BenchRecordV0::from_content(c).ok()?;
+    Some(BenchRecord {
+        unix_ms: old.unix_ms,
+        wall_ms: old.wall_ms,
+        jobs: old.jobs,
+        cache_enabled: old.cache_enabled,
+        figures: old.figures,
+        requested: old.requested,
+        unique_points: old.unique_points,
+        simulated: old.simulated,
+        disk_hits: old.disk_hits,
+        memo_hits: old.memo_hits,
+        in_flight_waits: old.in_flight_waits,
+        checkpoint_every_cycles: 0,
+        resumed: 0,
+        cycles_simulated: 0,
+    })
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] [--list]\n\
+        "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] \
+         [--checkpoint-every N] [--list]\n\
          ids are short (fig10, tab2) or file ids (fig10_speedup_baseline)"
     );
     std::process::exit(2);
@@ -53,6 +102,9 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut use_cache = true;
     let mut jobs: Option<usize> = None;
+    // Interrupted runs resume from these periodic machine snapshots;
+    // 250M cycles keeps the worst-case repaid work to a few seconds.
+    let mut checkpoint_every: u64 = 250_000_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,6 +113,10 @@ fn main() {
                 only = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
             }
             "--no-cache" => use_cache = false,
+            "--checkpoint-every" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => checkpoint_every = n,
+                None => usage(),
+            },
             "--jobs" => {
                 let n = args.next().and_then(|s| s.parse().ok());
                 match n {
@@ -92,9 +148,15 @@ fn main() {
     };
 
     let results_dir = Path::new("results");
+    // Checkpoints are independent of the result cache: a --no-cache run
+    // re-simulates every point but still survives being killed.
     let sweep = Sweep::new(SweepOptions {
         jobs,
         disk_cache: use_cache.then(|| Sweep::default_cache_dir(results_dir)),
+        checkpoints: (checkpoint_every > 0).then(|| CheckpointPolicy {
+            dir: Sweep::default_cache_dir(results_dir),
+            every_cycles: checkpoint_every,
+        }),
     });
 
     let t0 = Instant::now();
@@ -132,6 +194,12 @@ fn main() {
         stats.disk_hits,
         stats.memo_hits
     );
+    if stats.resumed > 0 {
+        println!(
+            "[paper] {} point(s) resumed from crash checkpoints",
+            stats.resumed
+        );
+    }
     // The engine's exactly-once invariant: every unique point was
     // materialised once — by simulation or by a disk-cache load.
     assert_eq!(
@@ -158,6 +226,9 @@ fn main() {
         disk_hits: stats.disk_hits,
         memo_hits: stats.memo_hits,
         in_flight_waits: stats.in_flight_waits,
+        checkpoint_every_cycles: checkpoint_every,
+        resumed: stats.resumed,
+        cycles_simulated: stats.cycles_simulated,
     };
     append_bench_record("BENCH_sweep.json", record);
 }
@@ -176,7 +247,11 @@ fn sweep_jobs(jobs: Option<usize>) -> usize {
 fn append_bench_record(path: &str, record: BenchRecord) {
     let mut records: Vec<BenchRecord> = std::fs::read_to_string(path)
         .ok()
-        .and_then(|text| serde_json::from_str(&text).ok())
+        .and_then(|text| serde_json::from_str::<serde::Content>(&text).ok())
+        .and_then(|c| {
+            c.as_seq()
+                .map(|s| s.iter().filter_map(migrate_record).collect())
+        })
         .unwrap_or_default();
     records.push(record);
     let json = serde_json::to_string_pretty(&records).expect("serialise bench records");

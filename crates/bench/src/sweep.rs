@@ -103,6 +103,34 @@ pub struct SweepOptions {
     /// Directory for the on-disk result cache (typically
     /// `results/.cache`); `None` disables persistence entirely.
     pub disk_cache: Option<PathBuf>,
+    /// Periodic crash checkpoints for in-flight simulations; `None`
+    /// disables them. Deliberately independent of `disk_cache`: a
+    /// `--no-cache` run re-simulates every point yet still survives
+    /// being killed mid-flight.
+    pub checkpoints: Option<CheckpointPolicy>,
+}
+
+/// Where and how often in-flight simulations checkpoint.
+///
+/// While a point simulates, its machine state is snapshotted every
+/// `every_cycles` simulated cycles to `<dir>/<key>.ckpt.json`
+/// (write-then-rename; deleted on completion). A later engine finding a
+/// checkpoint resumes from it bit-identically, so an interrupted sweep
+/// repays only the cycles since the last checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint directory (typically the same `results/.cache` the
+    /// result cache uses; the `.ckpt.json` suffix keeps them apart).
+    pub dir: PathBuf,
+    /// Snapshot period in simulated cycles (on + off time).
+    pub every_cycles: u64,
+}
+
+impl CheckpointPolicy {
+    /// The checkpoint file for a point.
+    pub fn path_for(&self, key: PointKey) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt.json"))
+    }
 }
 
 /// Exactly-once accounting for one engine lifetime.
@@ -123,6 +151,13 @@ pub struct SweepStats {
     /// Times a request found its point already being simulated by
     /// another in-flight batch and waited instead of re-running it.
     pub in_flight_waits: u64,
+    /// Simulations that resumed from an on-disk crash checkpoint
+    /// instead of starting cold (a subset of `simulated`).
+    pub resumed: u64,
+    /// Cycles actually simulated in this process. A resumed point
+    /// contributes only the cycles past its checkpoint, so this is what
+    /// shrinks when an interrupted sweep restarts.
+    pub cycles_simulated: u64,
 }
 
 impl SweepStats {
@@ -146,6 +181,7 @@ enum Slot {
 pub struct Sweep {
     jobs: usize,
     disk_cache: Option<PathBuf>,
+    checkpoints: Option<CheckpointPolicy>,
     state: Mutex<HashMap<PointKey, Slot>>,
     ready: Condvar,
     /// Materialised power traces, keyed by the spec's canonical JSON
@@ -156,6 +192,8 @@ pub struct Sweep {
     disk_hits: AtomicU64,
     simulated: AtomicU64,
     in_flight_waits: AtomicU64,
+    resumed: AtomicU64,
+    cycles_simulated: AtomicU64,
 }
 
 impl Sweep {
@@ -169,6 +207,7 @@ impl Sweep {
         Sweep {
             jobs: jobs.max(1),
             disk_cache: opts.disk_cache,
+            checkpoints: opts.checkpoints,
             state: Mutex::new(HashMap::new()),
             ready: Condvar::new(),
             traces: Mutex::new(HashMap::new()),
@@ -177,6 +216,8 @@ impl Sweep {
             disk_hits: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
             in_flight_waits: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            cycles_simulated: AtomicU64::new(0),
         }
     }
 
@@ -252,6 +293,8 @@ impl Sweep {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
             in_flight_waits: self.in_flight_waits.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
         }
     }
 
@@ -339,7 +382,31 @@ impl Sweep {
                     .unwrap_or_else(|| panic!("unknown workload `{}` in sweep", point.workload));
                 let trace = self.materialise(&point.trace);
                 self.simulated.fetch_add(1, Ordering::Relaxed);
-                let r = crate::run_one(workload, &point.config, &trace);
+                let r = match &self.checkpoints {
+                    Some(policy) => {
+                        let out = crate::run_one_checkpointed(
+                            workload,
+                            &point.config,
+                            &trace,
+                            &policy.path_for(key),
+                            policy.every_cycles,
+                        );
+                        if out.resumed_from.is_some() {
+                            self.resumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.cycles_simulated
+                            .fetch_add(out.cycles_simulated, Ordering::Relaxed);
+                        out.result
+                    }
+                    None => {
+                        let r = crate::run_one(workload, &point.config, &trace);
+                        if let Ok(ok) = &r {
+                            self.cycles_simulated
+                                .fetch_add(ok.stats.total_cycles, Ordering::Relaxed);
+                        }
+                        r
+                    }
+                };
                 if let Ok(ok) = &r {
                     self.store_cached(point, key, ok);
                 }
@@ -506,6 +573,60 @@ mod tests {
             }
         });
         assert_eq!(sweep.stats().simulated, 1);
+    }
+
+    #[test]
+    fn checkpointed_engine_resumes_a_planted_snapshot() {
+        use ehs_sim::Machine;
+
+        let dir = std::env::temp_dir().join(format!(
+            "ehs-sweep-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let point = tiny_point();
+        let policy = CheckpointPolicy {
+            dir: dir.clone(),
+            every_cycles: 10_000,
+        };
+
+        // Simulate an interrupted run: execute the point partway by
+        // hand and leave its checkpoint behind.
+        let workload = ehs_workloads::by_name(point.workload).unwrap();
+        let program = workload.program();
+        let trace = point.trace.synthesize();
+        let mut m = Machine::with_trace(point.config.clone(), &program, trace);
+        assert!(matches!(
+            m.run_until(20_000).unwrap(),
+            RunStatus::Paused,
+            // gsmd takes far longer than 20k cycles at 50 mW
+        ));
+        crate::write_checkpoint(&policy.path_for(point.key()), &m.snapshot(&program));
+
+        // A fresh engine must resume it — and produce the cold result.
+        let cold = Sweep::in_memory().get(&point).unwrap();
+        let sweep = Sweep::new(SweepOptions {
+            jobs: Some(1),
+            disk_cache: None,
+            checkpoints: Some(policy.clone()),
+        });
+        let warm = sweep.get(&point).unwrap();
+        let stats = sweep.stats();
+        assert_eq!(warm, cold, "resumed result must be identical");
+        assert_eq!(stats.resumed, 1, "{stats:?}");
+        assert!(
+            stats.cycles_simulated < cold.stats.total_cycles,
+            "resume must repay fewer cycles ({} vs {})",
+            stats.cycles_simulated,
+            cold.stats.total_cycles
+        );
+        assert!(
+            !policy.path_for(point.key()).exists(),
+            "checkpoint must be deleted after completion"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

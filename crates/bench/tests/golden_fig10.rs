@@ -42,6 +42,7 @@ fn fig10_is_byte_identical_across_engines_and_cache_states() {
         let sweep = Sweep::new(SweepOptions {
             jobs: None,
             disk_cache: Some(cache_dir.clone()),
+            checkpoints: None,
         });
         let points = fig.points();
         let unique: HashSet<_> = points.iter().map(|p| p.key()).collect();
@@ -67,6 +68,7 @@ fn fig10_is_byte_identical_across_engines_and_cache_states() {
         let sweep = Sweep::new(SweepOptions {
             jobs: None,
             disk_cache: Some(cache_dir.clone()),
+            checkpoints: None,
         });
         let cx = RenderCx {
             sweep: &sweep,

@@ -35,10 +35,7 @@ fn key_is_stable_across_construction_paths() {
         TraceSpec::default_rfhome(),
     );
     let via_default = SimPoint::new("gsmd", SimConfig::default(), TraceSpec::default_rfhome());
-    #[allow(deprecated)]
-    let via_deprecated = SimPoint::new("gsmd", SimConfig::baseline(), TraceSpec::default_rfhome());
     assert_eq!(via_builder.key(), via_default.key());
-    assert_eq!(via_builder.key(), via_deprecated.key());
 
     // ...while any semantic difference must change it.
     let mut other = via_default.clone();
@@ -73,6 +70,7 @@ fn disk_cache_round_trips_and_survives_a_new_engine() {
     let first = Sweep::new(SweepOptions {
         jobs: Some(1),
         disk_cache: Some(dir.clone()),
+        checkpoints: None,
     });
     let r1 = first.get(&p).expect("simulates fine");
     let s1 = first.stats();
@@ -86,6 +84,7 @@ fn disk_cache_round_trips_and_survives_a_new_engine() {
     let second = Sweep::new(SweepOptions {
         jobs: Some(1),
         disk_cache: Some(dir.clone()),
+        checkpoints: None,
     });
     let r2 = second.get(&p).expect("loads from cache");
     let s2 = second.stats();
@@ -107,6 +106,7 @@ fn corrupt_cache_entry_is_a_miss_not_a_crash() {
     let first = Sweep::new(SweepOptions {
         jobs: Some(1),
         disk_cache: Some(dir.clone()),
+        checkpoints: None,
     });
     let _ = first.get(&p).expect("simulates fine");
     let entry = dir.join(format!("{}.json", p.key()));
@@ -115,6 +115,7 @@ fn corrupt_cache_entry_is_a_miss_not_a_crash() {
     let second = Sweep::new(SweepOptions {
         jobs: Some(1),
         disk_cache: Some(dir.clone()),
+        checkpoints: None,
     });
     let _ = second.get(&p).expect("re-simulates");
     let s = second.stats();

@@ -50,6 +50,40 @@ impl IpexStats {
     }
 }
 
+/// Complete serializable state of an [`IpexController`] — configuration,
+/// adapted threshold ladder, registers, mode and the reissue queue.
+/// Produced by [`IpexController::export_state`], consumed by
+/// [`IpexController::import_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpexControllerState {
+    /// Configuration the controller was built with.
+    pub cfg: IpexConfig,
+    /// Current (possibly adapted) threshold ladder, highest first.
+    pub thresholds: Vec<f64>,
+    /// Register file.
+    pub regs: IpexRegisters,
+    /// Current prefetch degree (`Rcpd`).
+    pub r_cpd: u32,
+    /// Number of thresholds at or above the current voltage.
+    pub level: u32,
+    /// Operating mode.
+    pub mode: Mode,
+    /// Reissue queue, oldest first.
+    pub reissue_queue: Vec<u32>,
+    /// Counters at the time of the export.
+    pub stats: IpexStats,
+}
+
+/// Serializable state of a [`Throttle`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ThrottleState {
+    /// Stateless passthrough.
+    Passthrough,
+    /// Full IPEX controller state (boxed: it dwarfs the other variant).
+    Ipex(Box<IpexControllerState>),
+}
+
 /// The per-cache IPEX controller.
 ///
 /// Drive it with [`IpexController::observe_voltage`] (every cycle or on
@@ -229,6 +263,49 @@ impl IpexController {
         self.level = 0;
         self.mode = Mode::HighPerformance;
     }
+
+    /// The complete internal state as a serializable value, for
+    /// snapshot/resume.
+    pub fn export_state(&self) -> IpexControllerState {
+        IpexControllerState {
+            cfg: self.cfg,
+            thresholds: self.thresholds.clone(),
+            regs: self.regs,
+            r_cpd: self.r_cpd,
+            level: self.level,
+            mode: self.mode,
+            reissue_queue: self.reissue_queue.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a controller from state previously produced by
+    /// [`IpexController::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose threshold ladder length disagrees with its
+    /// own configuration (a corrupted snapshot).
+    pub fn from_state(state: &IpexControllerState) -> Result<IpexController, String> {
+        state.cfg.validate();
+        if state.thresholds.len() != state.cfg.threshold_count as usize {
+            return Err(format!(
+                "controller state has {} thresholds, config wants {}",
+                state.thresholds.len(),
+                state.cfg.threshold_count
+            ));
+        }
+        Ok(IpexController {
+            cfg: state.cfg,
+            thresholds: state.thresholds.clone(),
+            regs: state.regs,
+            r_cpd: state.r_cpd,
+            level: state.level,
+            mode: state.mode,
+            reissue_queue: state.reissue_queue.iter().copied().collect(),
+            stats: state.stats,
+        })
+    }
 }
 
 /// Optional throttling for a simulated cache: either a transparent
@@ -302,6 +379,23 @@ impl Throttle {
         match self {
             Throttle::Passthrough => None,
             Throttle::Ipex(c) => Some(c.current_degree()),
+        }
+    }
+
+    /// The complete state as a serializable value, for snapshot/resume.
+    pub fn export_state(&self) -> ThrottleState {
+        match self {
+            Throttle::Passthrough => ThrottleState::Passthrough,
+            Throttle::Ipex(c) => ThrottleState::Ipex(Box::new(c.export_state())),
+        }
+    }
+
+    /// Rebuilds a throttle from state previously produced by
+    /// [`Throttle::export_state`].
+    pub fn from_state(state: &ThrottleState) -> Result<Throttle, String> {
+        match state {
+            ThrottleState::Passthrough => Ok(Throttle::Passthrough),
+            ThrottleState::Ipex(s) => Ok(Throttle::Ipex(Box::new(IpexController::from_state(s)?))),
         }
     }
 }

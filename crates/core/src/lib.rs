@@ -53,5 +53,7 @@ pub mod overhead;
 mod registers;
 
 pub use config::IpexConfig;
-pub use controller::{IpexController, IpexStats, Mode, Throttle};
+pub use controller::{
+    IpexController, IpexControllerState, IpexStats, Mode, Throttle, ThrottleState,
+};
 pub use registers::IpexRegisters;

@@ -116,6 +116,25 @@ impl Capacitor {
         }
     }
 
+    /// Creates a capacitor holding exactly `energy_nj` nanojoules.
+    ///
+    /// Unlike [`Capacitor::at_voltage`] (which recomputes `½CV²` from a
+    /// rounded voltage), this restores the stored energy bit-exactly —
+    /// the constructor the snapshot/resume subsystem uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, `energy_nj` is negative,
+    /// or the energy exceeds the `v_max` capacity.
+    pub fn with_energy_nj(cfg: CapacitorConfig, energy_nj: f64) -> Capacitor {
+        cfg.validate();
+        assert!(
+            energy_nj >= 0.0 && energy_nj <= cfg.energy_at_nj(cfg.v_max),
+            "stored energy out of range"
+        );
+        Capacitor { cfg, energy_nj }
+    }
+
     /// The electrical configuration.
     pub fn config(&self) -> CapacitorConfig {
         self.cfg

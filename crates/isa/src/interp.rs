@@ -173,6 +173,36 @@ impl Interpreter {
         &self.mem[addr as usize..addr as usize + len]
     }
 
+    /// A view of the entire memory image.
+    ///
+    /// Used by the snapshot subsystem in `ehs-sim` to diff the live
+    /// image against a freshly loaded program without copying 16 MB.
+    pub fn mem(&self) -> &[u8] {
+        &self.mem
+    }
+
+    /// Overwrites memory at `addr` with `bytes` (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let a = addr as usize;
+        self.mem[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Restores the non-memory architectural state (snapshot resume).
+    ///
+    /// Memory is restored separately via [`Interpreter::write_bytes`];
+    /// the register file is taken verbatim (including `zero`, which is
+    /// always 0 in a well-formed snapshot).
+    pub fn restore_state(&mut self, regs: [u32; 16], pc: u32, halted: bool, executed: u64) {
+        self.regs = regs;
+        self.pc = pc;
+        self.halted = halted;
+        self.executed = executed;
+    }
+
     fn load(&self, pc: u32, addr: u32, width: MemWidth, signed: bool) -> Result<u32, ExecError> {
         let n = width.bytes();
         if addr as usize + n as usize > self.mem.len() {

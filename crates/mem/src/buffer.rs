@@ -82,6 +82,27 @@ struct Entry {
     ready_at: u64,
 }
 
+/// Serializable image of one buffered prefetch (see [`BufferState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferEntryState {
+    /// Block base address.
+    pub block: u32,
+    /// Cycle at which the prefetched data is (or was) available.
+    pub ready_at: u64,
+}
+
+/// Complete serializable state of a [`PrefetchBuffer`] — entries in
+/// FIFO order (oldest first) plus the accumulated statistics. Produced
+/// by [`PrefetchBuffer::export_state`], consumed by
+/// [`PrefetchBuffer::import_state`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferState {
+    /// Entries oldest-first.
+    pub entries: Vec<BufferEntryState>,
+    /// Counters at the time of the export.
+    pub stats: PrefetchBufferStats,
+}
+
 /// A small FIFO buffer holding prefetched blocks (and in-flight
 /// prefetches) for one cache.
 #[derive(Debug, Clone)]
@@ -179,6 +200,46 @@ impl PrefetchBuffer {
         self.stats.lost_unused += lost as u64;
         self.entries.clear();
         lost
+    }
+
+    /// The complete internal state (FIFO contents, statistics) as a
+    /// serializable value, for snapshot/resume.
+    pub fn export_state(&self) -> BufferState {
+        BufferState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| BufferEntryState {
+                    block: e.block,
+                    ready_at: e.ready_at,
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state previously produced by
+    /// [`PrefetchBuffer::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state holding more entries than this buffer's capacity
+    /// (snapshot taken under a different configuration).
+    pub fn import_state(&mut self, state: &BufferState) -> Result<(), String> {
+        if state.entries.len() > self.capacity {
+            return Err(format!(
+                "buffer state has {} entries, capacity is {}",
+                state.entries.len(),
+                self.capacity
+            ));
+        }
+        self.entries.clear();
+        self.entries.extend(state.entries.iter().map(|e| Entry {
+            block: e.block,
+            ready_at: e.ready_at,
+        }));
+        self.stats = state.stats;
+        Ok(())
     }
 }
 

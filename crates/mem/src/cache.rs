@@ -90,6 +90,32 @@ struct Line {
     last_use: u64,
 }
 
+/// Serializable image of one cache line (see [`CacheState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineState {
+    /// Line holds a block.
+    pub valid: bool,
+    /// Line differs from NVM.
+    pub dirty: bool,
+    /// Stored tag bits.
+    pub tag: u32,
+    /// LRU timestamp (the cache's `tick` at last touch).
+    pub last_use: u64,
+}
+
+/// Complete serializable state of a [`Cache`] — lines in set-major
+/// order, the LRU tick and the accumulated statistics. Produced by
+/// [`Cache::export_state`], consumed by [`Cache::import_state`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheState {
+    /// All lines, `num_sets * assoc` of them, set-major.
+    pub lines: Vec<LineState>,
+    /// Monotonic LRU clock.
+    pub tick: u64,
+    /// Counters at the time of the export.
+    pub stats: CacheStats,
+}
+
 /// A write-back, write-allocate, LRU set-associative cache.
 ///
 /// The cache stores tags and dirty bits only; see the
@@ -278,6 +304,52 @@ impl Cache {
         for line in &mut self.sets {
             *line = Line::default();
         }
+    }
+
+    /// The complete internal state (lines, LRU clock, statistics) as a
+    /// serializable value, for snapshot/resume.
+    pub fn export_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .sets
+                .iter()
+                .map(|l| LineState {
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    tag: l.tag,
+                    last_use: l.last_use,
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state previously produced by [`Cache::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose line count does not match this cache's
+    /// geometry (snapshot taken under a different configuration).
+    pub fn import_state(&mut self, state: &CacheState) -> Result<(), String> {
+        if state.lines.len() != self.sets.len() {
+            return Err(format!(
+                "cache state has {} lines, geometry expects {}",
+                state.lines.len(),
+                self.sets.len()
+            ));
+        }
+        for (line, s) in self.sets.iter_mut().zip(&state.lines) {
+            *line = Line {
+                valid: s.valid,
+                dirty: s.dirty,
+                tag: s.tag,
+                last_use: s.last_use,
+            };
+        }
+        self.tick = state.tick;
+        self.stats = state.stats;
+        Ok(())
     }
 }
 

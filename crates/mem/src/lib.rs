@@ -27,8 +27,11 @@ mod cache;
 mod nvm;
 
 pub use block::{block_of, BLOCK_SIZE};
-pub use buffer::{BufferLookup, InsertOutcome, PrefetchBuffer, PrefetchBufferStats};
-pub use cache::{Cache, CacheConfig, CacheStats, Writeback};
+pub use buffer::{
+    BufferEntryState, BufferLookup, BufferState, InsertOutcome, PrefetchBuffer, PrefetchBufferStats,
+};
+pub use cache::{Cache, CacheConfig, CacheState, CacheStats, LineState, Writeback};
 pub use nvm::{
-    Nvm, NvmConfig, NvmStats, NvmTech, ReadReason, DEFAULT_ACTIVE_LEAK_FRACTION, DEFAULT_NVM_BYTES,
+    Nvm, NvmConfig, NvmState, NvmStats, NvmTech, ReadReason, DEFAULT_ACTIVE_LEAK_FRACTION,
+    DEFAULT_NVM_BYTES,
 };

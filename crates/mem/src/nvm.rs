@@ -161,6 +161,17 @@ pub enum ReadReason {
     Prefetch,
 }
 
+/// Complete serializable state of an [`Nvm`] — port occupancy plus the
+/// accumulated statistics. Produced by [`Nvm::export_state`], consumed
+/// by [`Nvm::import_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmState {
+    /// First cycle at which the port is free.
+    pub busy_until: u64,
+    /// Counters at the time of the export.
+    pub stats: NvmStats,
+}
+
 /// Single-ported NVM behind a simple bus.
 ///
 /// Requests serialise: one issued at cycle `now` starts when the port is
@@ -256,6 +267,21 @@ impl Nvm {
     /// busy through an outage). Statistics are preserved.
     pub fn power_cycle_reset(&mut self, now: u64) {
         self.busy_until = now;
+    }
+
+    /// The complete internal state (port occupancy, statistics) as a
+    /// serializable value, for snapshot/resume.
+    pub fn export_state(&self) -> NvmState {
+        NvmState {
+            busy_until: self.busy_until,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state previously produced by [`Nvm::export_state`].
+    pub fn import_state(&mut self, state: &NvmState) {
+        self.busy_until = state.busy_until;
+        self.stats = state.stats;
     }
 }
 

@@ -9,8 +9,9 @@
 //! so, `b+d` is likely next and is emitted, up to the degree.
 
 use ehs_mem::{block_of, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 /// Blocks per zone (zone size = 64 × 16 B = 1 kB).
 const ZONE_BLOCKS: u32 = 64;
@@ -18,7 +19,7 @@ const ZONE_BLOCKS: u32 = 64;
 /// Offsets (in blocks) tested for pattern matches, nearest first.
 const OFFSETS: [i32; 6] = [1, -1, 2, -2, 3, -3];
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct Zone {
     tag: u32,
     map: u64,
@@ -26,7 +27,7 @@ struct Zone {
 }
 
 /// Bitmap-based pattern-matching prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AmpmPrefetcher {
     degree: u32,
     zones: Vec<Zone>,
@@ -130,6 +131,10 @@ impl Prefetcher for AmpmPrefetcher {
 
     fn power_loss(&mut self) {
         self.zones.iter_mut().for_each(|z| *z = Zone::default());
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Ampm(self.clone())
     }
 }
 

@@ -9,8 +9,9 @@
 //! accesses prefetch `X + O`, `X + 2O`, … up to the degree.
 
 use ehs_mem::{block_of, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 /// Candidate offsets tested during learning, in blocks.
 const OFFSETS: [i32; 8] = [1, 2, 3, 4, 6, 8, -1, -2];
@@ -25,7 +26,7 @@ const MIN_SCORE: u32 = 4;
 const RR_SIZE: usize = 32;
 
 /// Offset-learning data prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BestOffsetPrefetcher {
     degree: u32,
     /// Recent demand blocks (small direct-mapped table).
@@ -133,6 +134,10 @@ impl Prefetcher for BestOffsetPrefetcher {
 
     fn power_loss(&mut self) {
         *self = BestOffsetPrefetcher::new(self.degree);
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::BestOffset(self.clone())
     }
 }
 

@@ -7,11 +7,12 @@
 //! that delta pair, and prefetches the deltas that followed it.
 
 use ehs_mem::block_of;
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 /// Global-history-buffer delta-correlation prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GhbPrefetcher {
     degree: u32,
     /// Circular buffer of miss block addresses, oldest overwritten first.
@@ -124,6 +125,10 @@ impl Prefetcher for GhbPrefetcher {
     fn power_loss(&mut self) {
         self.head = 0;
         self.history.iter_mut().for_each(|b| *b = 0);
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Ghb(self.clone())
     }
 }
 

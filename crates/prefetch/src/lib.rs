@@ -31,6 +31,7 @@ mod kinds;
 mod markov;
 mod null;
 mod sequential;
+mod state;
 mod stride;
 mod tifs;
 
@@ -42,6 +43,7 @@ pub use kinds::{DataPrefetcherKind, InstPrefetcherKind};
 pub use markov::MarkovPrefetcher;
 pub use null::NullPrefetcher;
 pub use sequential::SequentialPrefetcher;
+pub use state::PrefetcherState;
 pub use stride::StridePrefetcher;
 pub use tifs::TifsPrefetcher;
 
@@ -71,6 +73,11 @@ pub trait Prefetcher {
     /// Wipes all volatile predictor state (tables, histories) — the
     /// effect of a power failure.
     fn power_loss(&mut self);
+
+    /// The complete internal state as a serializable value, for
+    /// snapshot/resume. [`PrefetcherState::into_prefetcher`] rebuilds a
+    /// behaviourally identical prefetcher from it.
+    fn export_state(&self) -> PrefetcherState;
 }
 
 impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
@@ -88,5 +95,9 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
 
     fn power_loss(&mut self) {
         (**self).power_loss()
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        (**self).export_state()
     }
 }

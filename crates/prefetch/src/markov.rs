@@ -9,12 +9,13 @@
 //! to the degree.
 
 use ehs_mem::block_of;
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 const SUCCESSORS_PER_ENTRY: usize = 4;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Entry {
     tag: u32,
     /// Successor blocks, most recently observed first.
@@ -22,7 +23,7 @@ struct Entry {
 }
 
 /// Correlation-table Markov prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MarkovPrefetcher {
     degree: u32,
     table: Vec<Option<Entry>>,
@@ -131,6 +132,10 @@ impl Prefetcher for MarkovPrefetcher {
     fn power_loss(&mut self) {
         self.table.iter_mut().for_each(|e| *e = None);
         self.last_miss_block = None;
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Markov(self.clone())
     }
 }
 

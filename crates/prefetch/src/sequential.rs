@@ -3,8 +3,9 @@
 //! next-line scheme discussed in §8.1.
 
 use ehs_mem::{block_of, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 /// Prefetches the next sequential blocks after a miss-like access, and
 /// keeps the stream warm by re-triggering whenever the demand stream
@@ -16,7 +17,7 @@ use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
 /// degree up to [`MAX_DEGREE`]; a broken streak resets it. This is the
 /// conventional aggressiveness IPEX exists to tame: the controller caps
 /// the emitted candidate list via its `Rcpd` register.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SequentialPrefetcher {
     degree: u32,
     last_trigger_block: Option<u32>,
@@ -91,6 +92,10 @@ impl Prefetcher for SequentialPrefetcher {
     fn power_loss(&mut self) {
         self.last_trigger_block = None;
         self.streak = 0;
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Sequential(self.clone())
     }
 }
 

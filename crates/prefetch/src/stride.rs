@@ -10,17 +10,18 @@
 //! the conventional aggressiveness that IPEX throttles.
 
 use ehs_mem::block_of;
+use serde::{Deserialize, Serialize};
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum State {
     Init,
     Transient,
     Steady,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct Entry {
     tag: u32,
     last_addr: u32,
@@ -31,7 +32,7 @@ struct Entry {
 }
 
 /// Reference-prediction-table stride prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StridePrefetcher {
     degree: u32,
     table: Vec<Option<Entry>>,
@@ -152,6 +153,10 @@ impl Prefetcher for StridePrefetcher {
 
     fn power_loss(&mut self) {
         self.table.iter_mut().for_each(|e| *e = None);
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Stride(self.clone())
     }
 }
 

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use ehs_mem::block_of;
 
-use crate::{AccessEvent, Prefetcher, MAX_DEGREE};
+use crate::{AccessEvent, Prefetcher, PrefetcherState, MAX_DEGREE};
 
 /// Temporal-streaming instruction prefetcher.
 #[derive(Debug, Clone)]
@@ -83,6 +83,64 @@ impl TifsPrefetcher {
     }
 }
 
+// Hand-written (de)serialization: the vendored serde has no HashMap
+// support, and a HashMap would serialize in nondeterministic order
+// anyway. The index is flattened to a block-sorted sequence of
+// `{ "block": .., "pos": .. }` maps so equal prefetcher states always
+// produce byte-identical canonical JSON.
+impl serde::Serialize for TifsPrefetcher {
+    fn to_content(&self) -> serde::Content {
+        let mut index: Vec<(u32, u64)> = self.index.iter().map(|(&b, &p)| (b, p)).collect();
+        index.sort_unstable();
+        serde::Content::Map(vec![
+            ("degree".to_string(), self.degree.to_content()),
+            ("log".to_string(), self.log.to_content()),
+            ("capacity".to_string(), self.capacity.to_content()),
+            ("head".to_string(), self.head.to_content()),
+            (
+                "index".to_string(),
+                serde::Content::Seq(
+                    index
+                        .iter()
+                        .map(|&(block, pos)| {
+                            serde::Content::Map(vec![
+                                ("block".to_string(), block.to_content()),
+                                ("pos".to_string(), pos.to_content()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for TifsPrefetcher {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let m = c.as_map().ok_or_else(|| serde::Error::expected("map"))?;
+        let mut index = HashMap::new();
+        for entry in serde::map_field(m, "index")?
+            .as_seq()
+            .ok_or_else(|| serde::Error::expected("sequence"))?
+        {
+            let em = entry
+                .as_map()
+                .ok_or_else(|| serde::Error::expected("map"))?;
+            index.insert(
+                u32::from_content(serde::map_field(em, "block")?)?,
+                u64::from_content(serde::map_field(em, "pos")?)?,
+            );
+        }
+        Ok(TifsPrefetcher {
+            degree: u32::from_content(serde::map_field(m, "degree")?)?,
+            log: Vec::from_content(serde::map_field(m, "log")?)?,
+            capacity: usize::from_content(serde::map_field(m, "capacity")?)?,
+            head: u64::from_content(serde::map_field(m, "head")?)?,
+            index,
+        })
+    }
+}
+
 impl Prefetcher for TifsPrefetcher {
     fn name(&self) -> &'static str {
         "tifs"
@@ -110,6 +168,10 @@ impl Prefetcher for TifsPrefetcher {
         self.head = 0;
         self.index.clear();
         self.log.iter_mut().for_each(|b| *b = 0);
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        PrefetcherState::Tifs(self.clone())
     }
 }
 

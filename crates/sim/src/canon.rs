@@ -50,6 +50,93 @@ pub fn canonical_digest<T: Serialize + ?Sized>(value: &T) -> u64 {
     fnv1a_64(canonical_json(value).as_bytes())
 }
 
+/// Field-level difference report between two serializable values.
+///
+/// Walks both values' `Content` trees in lockstep and returns one line
+/// per leaf that differs, as `path: left != right` with dotted/indexed
+/// paths (`stats.total_cycles`, `mem_delta[3].hex`). Used by the
+/// golden-snapshot corpus test so drift reads as *which fields* moved,
+/// not as two multi-kilobyte JSON blobs.
+pub fn content_diff<A: Serialize + ?Sized, B: Serialize + ?Sized>(a: &A, b: &B) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_content(&a.to_content(), &b.to_content(), "", &mut out);
+    out
+}
+
+fn diff_content(a: &Content, b: &Content, path: &str, out: &mut Vec<String>) {
+    let label = |p: &str| {
+        if p.is_empty() {
+            "<root>".to_string()
+        } else {
+            p.to_string()
+        }
+    };
+    match (a, b) {
+        (Content::Seq(xs), Content::Seq(ys)) => {
+            if xs.len() != ys.len() {
+                out.push(format!(
+                    "{}: length {} != {}",
+                    label(path),
+                    xs.len(),
+                    ys.len()
+                ));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                diff_content(x, y, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Content::Map(xs), Content::Map(ys)) => {
+            fn lookup(entries: &[(String, Content)]) -> Vec<(&str, &Content)> {
+                let mut m: Vec<(&str, &Content)> =
+                    entries.iter().map(|(k, v)| (k.as_str(), v)).collect();
+                m.sort_by_key(|(k, _)| *k);
+                m
+            }
+            let (xs, ys) = (lookup(xs), lookup(ys));
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() || j < ys.len() {
+                match (xs.get(i), ys.get(j)) {
+                    (Some((kx, vx)), Some((ky, vy))) if kx == ky => {
+                        let sub = if path.is_empty() {
+                            (*kx).to_string()
+                        } else {
+                            format!("{path}.{kx}")
+                        };
+                        diff_content(vx, vy, &sub, out);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some((kx, _)), Some((ky, _))) if kx < ky => {
+                        out.push(format!("{}: key '{kx}' only on the left", label(path)));
+                        i += 1;
+                    }
+                    (Some(_), Some((ky, _))) => {
+                        out.push(format!("{}: key '{ky}' only on the right", label(path)));
+                        j += 1;
+                    }
+                    (Some((kx, _)), None) => {
+                        out.push(format!("{}: key '{kx}' only on the left", label(path)));
+                        i += 1;
+                    }
+                    (None, Some((ky, _))) => {
+                        out.push(format!("{}: key '{ky}' only on the right", label(path)));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        _ => {
+            let (mut ra, mut rb) = (String::new(), String::new());
+            write_canonical(a, &mut ra);
+            write_canonical(b, &mut rb);
+            if ra != rb {
+                out.push(format!("{}: {ra} != {rb}", label(path)));
+            }
+        }
+    }
+}
+
 fn write_canonical(c: &Content, out: &mut String) {
     match c {
         Content::Null => out.push_str("null"),

@@ -6,7 +6,7 @@ use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
 use ipex::IpexConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::builder::{Ipex, SimConfigBuilder};
+use crate::builder::SimConfigBuilder;
 use crate::trace::TraceMode;
 
 /// Core cycles per 10 µs power-trace sample (200 MHz × 10 µs).
@@ -32,8 +32,8 @@ impl PrefetchMode {
 
 /// Full configuration of a simulated EHS.
 ///
-/// [`SimConfig::baseline`] reproduces Table 1; the other presets build
-/// the comparison points used throughout §6.
+/// [`SimConfig::default`] reproduces Table 1; [`SimConfig::builder`]
+/// derives the comparison points used throughout §6.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// ICache geometry (Table 1: 2 kB, 4-way).
@@ -107,32 +107,6 @@ impl SimConfig {
         SimConfigBuilder::default()
     }
 
-    /// The paper's baseline: NVSRAMCache with conventional sequential +
-    /// stride prefetchers (Table 1).
-    #[deprecated(note = "use `SimConfig::builder().build()`")]
-    pub fn baseline() -> SimConfig {
-        SimConfig::builder().build()
-    }
-
-    /// Baseline with both prefetchers disabled ("No Prefetcher").
-    #[deprecated(note = "use `SimConfig::builder().no_prefetch().build()`")]
-    pub fn no_prefetch() -> SimConfig {
-        SimConfig::builder().no_prefetch().build()
-    }
-
-    /// Baseline plus IPEX on the data prefetcher only.
-    #[deprecated(note = "use `SimConfig::builder().ipex(Ipex::Data).build()`")]
-    pub fn ipex_data_only() -> SimConfig {
-        SimConfig::builder().ipex(Ipex::Data).build()
-    }
-
-    /// Baseline plus IPEX on both prefetchers (the headline
-    /// configuration).
-    #[deprecated(note = "use `SimConfig::builder().ipex(Ipex::Both).build()`")]
-    pub fn ipex_both() -> SimConfig {
-        SimConfig::builder().ipex(Ipex::Both).build()
-    }
-
     /// This configuration with the ideal (zero-cost) backup/restore.
     pub fn with_ideal_backup(mut self) -> SimConfig {
         self.ideal_backup = true;
@@ -185,35 +159,6 @@ mod tests {
         assert_eq!(c.prefetch_degree, 2);
         assert!(!c.ideal_backup);
         assert!(matches!(c.inst_mode, PrefetchMode::Conventional));
-    }
-
-    /// The deprecated preset wrappers must keep producing exactly what
-    /// their builder replacements produce.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_presets_match_builder() {
-        assert_eq!(
-            SimConfig::baseline().canonical_json(),
-            SimConfig::builder().build().canonical_json()
-        );
-        assert_eq!(
-            SimConfig::no_prefetch().canonical_json(),
-            SimConfig::builder().no_prefetch().build().canonical_json()
-        );
-        assert_eq!(
-            SimConfig::ipex_data_only().canonical_json(),
-            SimConfig::builder()
-                .ipex(Ipex::Data)
-                .build()
-                .canonical_json()
-        );
-        assert_eq!(
-            SimConfig::ipex_both().canonical_json(),
-            SimConfig::builder()
-                .ipex(Ipex::Both)
-                .build()
-                .canonical_json()
-        );
     }
 
     #[test]

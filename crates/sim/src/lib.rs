@@ -28,12 +28,14 @@ pub mod canon;
 mod config;
 mod machine;
 mod result;
+pub mod snapshot;
 mod trace;
 
 pub use builder::{ConfigError, Ipex, SimConfigBuilder};
 pub use config::{PrefetchMode, SimConfig, CYCLES_PER_TRACE_SAMPLE};
-pub use machine::{FaultPlan, Machine, SimError};
+pub use machine::{CycleMark, FaultPlan, Machine, RunStatus, SimError};
 pub use result::{SimResult, SimStats};
+pub use snapshot::{MemRun, Phase, Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use trace::{
     CountingSink, EventCounts, JsonlSink, NullSink, PathId, SimEvent, TraceMode, TraceSink, Tracer,
 };
@@ -52,8 +54,9 @@ pub use trace::{
 pub mod prelude {
     pub use crate::builder::{ConfigError, Ipex, SimConfigBuilder};
     pub use crate::config::{PrefetchMode, SimConfig};
-    pub use crate::machine::{FaultPlan, Machine, SimError};
+    pub use crate::machine::{FaultPlan, Machine, RunStatus, SimError};
     pub use crate::result::{SimResult, SimStats};
+    pub use crate::snapshot::{Phase, Snapshot, SnapshotError};
     pub use crate::trace::{
         CountingSink, EventCounts, JsonlSink, NullSink, PathId, SimEvent, TraceMode, TraceSink,
         Tracer,

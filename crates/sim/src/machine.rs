@@ -6,7 +6,10 @@ use ehs_mem::{block_of, Cache, InsertOutcome, Nvm, PrefetchBuffer, ReadReason};
 use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher};
 use ipex::Throttle;
 
+use serde::{Deserialize, Serialize};
+
 use crate::config::{PrefetchMode, CYCLES_PER_TRACE_SAMPLE};
+use crate::snapshot::{self, Phase, Snapshot, SnapshotError, SNAPSHOT_VERSION};
 use crate::trace::{EventCounts, PathId, SimEvent, TraceSink, Tracer};
 use crate::{SimConfig, SimResult, SimStats};
 
@@ -84,11 +87,24 @@ impl MemPath {
     }
 }
 
+/// Did [`Machine::run_until`] reach its pause target or finish the
+/// program?
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// The program halted; here are the final statistics (boxed:
+    /// `SimResult` dwarfs the `Paused` variant).
+    Completed(Box<SimResult>),
+    /// The pause target was reached; the machine can be snapshotted and
+    /// the run continued (here or, via [`Machine::resume`], elsewhere).
+    Paused,
+}
+
 /// Statistics snapshot at the start of the current power cycle, used to
 /// compute [`SimEvent::PowerCycleSummary`] deltas. Only updated while
-/// tracing is enabled.
-#[derive(Debug, Clone, Copy, Default)]
-struct CycleMark {
+/// tracing is enabled. Part of [`Snapshot`] (summary deltas of a split
+/// run must match an uninterrupted one), hence serializable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleMark {
     on_cycles: u64,
     off_cycles: u64,
     cache_nj: f64,
@@ -129,6 +145,9 @@ pub struct Machine {
     mark: CycleMark,
     /// Injected consistency faults (verification only; default none).
     fault: FaultPlan,
+    /// Where in the power-cycle state machine execution currently is —
+    /// persisted by [`Machine::snapshot`] so pauses can land mid-outage.
+    phase: Phase,
 }
 
 impl Machine {
@@ -200,6 +219,7 @@ impl Machine {
             tracer: Tracer::from_mode(&cfg.trace),
             mark: CycleMark::default(),
             fault: FaultPlan::default(),
+            phase: Phase::Run,
             cfg,
         }
     }
@@ -214,7 +234,11 @@ impl Machine {
     /// tracing regardless of the configured [`TraceMode`](crate::TraceMode)).
     /// Call before [`Machine::run`].
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        // Preserve tallies already accumulated (a resumed machine
+        // carries the counts of the run's earlier leg).
+        let counts = *self.tracer.counts();
         self.tracer = Tracer::with_sink(sink);
+        self.tracer.restore_counts(counts);
     }
 
     /// Per-kind tallies of the events emitted so far (all zero when
@@ -267,27 +291,310 @@ impl Machine {
     /// [`SimError::CycleLimit`] if the budget runs out before `halt`,
     /// [`SimError::Exec`] if the program faults.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        // The first power cycle starts implicitly (capacitor full).
-        self.stats.power_cycles = 1;
+        match self.run_until(u64::MAX)? {
+            RunStatus::Completed(r) => Ok(*r),
+            // Unreachable: max_cycles < u64::MAX errors out first, and
+            // pausing requires cycle >= u64::MAX.
+            RunStatus::Paused => unreachable!("run(u64::MAX) cannot pause"),
+        }
+    }
+
+    /// Runs until the program halts or the simulated cycle counter
+    /// reaches `target`, whichever comes first.
+    ///
+    /// Pausing is computation-neutral: `run_until(n)` followed by
+    /// `run_until(m)` performs the *identical* sequence of operations —
+    /// including every f64 — as a single `run_until(m)`, so statistics,
+    /// energy and emitted events match bit-for-bit. A paused machine may
+    /// pause mid-outage (between backup writes or recharge ticks); its
+    /// exact phase is carried by [`Machine::snapshot`].
+    ///
+    /// Note `target` is a floor, not an exact stop cycle: the machine
+    /// pauses at the first pause point at or after `target` (instruction
+    /// latencies, backup windows and recharge ticks are indivisible).
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_until(&mut self, target: u64) -> Result<RunStatus, SimError> {
+        // The first power cycle starts implicitly (capacitor full); a
+        // resumed machine keeps its restored count.
+        if self.stats.power_cycles == 0 {
+            self.stats.power_cycles = 1;
+        }
+        // The backup phase does not advance `cycle` until it completes,
+        // so its pause check uses the growing window end instead; this
+        // flag guarantees each call still makes progress (at least one
+        // block write) even when that end is already past `target`.
+        let mut wrote_block = false;
         let outcome = loop {
-            if self.interp.halted() {
-                break Ok(());
-            }
-            if self.cycle >= self.cfg.max_cycles {
-                break Err(SimError::CycleLimit {
-                    max_cycles: self.cfg.max_cycles,
-                });
-            }
-            if let Err(e) = self.step_instruction() {
-                break Err(e);
+            match self.phase {
+                Phase::Run => {
+                    if self.interp.halted() {
+                        break Ok(true);
+                    }
+                    if self.cycle >= self.cfg.max_cycles {
+                        break Err(SimError::CycleLimit {
+                            max_cycles: self.cfg.max_cycles,
+                        });
+                    }
+                    if self.cycle >= target {
+                        break Ok(false);
+                    }
+                    if let Err(e) = self.step_instruction() {
+                        break Err(e);
+                    }
+                }
+                Phase::Backup {
+                    remaining,
+                    backup_cycles,
+                    br_before,
+                    dirty_total,
+                } => {
+                    if wrote_block
+                        && remaining > 0
+                        && self.cycle.saturating_add(backup_cycles) >= target
+                    {
+                        break Ok(false);
+                    }
+                    if remaining > 0 {
+                        // One dirty block: NVM writes serialize on the
+                        // port, stretching the backup window.
+                        let done = self.nvm.write(self.cycle + backup_cycles);
+                        let w = self.cfg.nvm.block_write_nj();
+                        self.energy.backup_restore_nj += w;
+                        self.cap.consume_nj(w);
+                        self.phase = Phase::Backup {
+                            remaining: remaining - 1,
+                            backup_cycles: done - self.cycle,
+                            br_before,
+                            dirty_total,
+                        };
+                        wrote_block = true;
+                    } else {
+                        self.finish_backup(backup_cycles, br_before, dirty_total);
+                    }
+                }
+                Phase::Recharge => {
+                    if self.cap.can_boot() {
+                        self.reboot();
+                    } else {
+                        if self.cycle >= self.cfg.max_cycles {
+                            self.stats.total_cycles = self.cycle;
+                            break Err(SimError::CycleLimit {
+                                max_cycles: self.cfg.max_cycles,
+                            });
+                        }
+                        if self.cycle >= target {
+                            break Ok(false);
+                        }
+                        // Harvest one trace-sample tick while off.
+                        let idx = self.cycle / CYCLES_PER_TRACE_SAMPLE;
+                        let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
+                        let take = boundary - self.cycle;
+                        self.cap
+                            .harvest_nj(self.trace.harvest_nj_per_cycle(idx) * take as f64);
+                        self.cycle = boundary;
+                        self.stats.off_cycles += take;
+                    }
+                }
             }
         };
-        if outcome.is_ok() {
+        if let Ok(true) = outcome {
             // The final (still-running) power cycle gets its rollup too.
             self.emit_power_cycle_summary();
         }
         self.tracer.flush();
-        outcome.map(|()| self.result())
+        match outcome {
+            Ok(true) => Ok(RunStatus::Completed(Box::new(self.result()))),
+            Ok(false) => Ok(RunStatus::Paused),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The current power-cycle phase ([`Phase::Run`] unless paused
+    /// mid-outage).
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Captures the complete machine state as a [`Snapshot`].
+    ///
+    /// `program` must be the program this machine was built with: the
+    /// memory image is stored as a sparse delta against its fresh load
+    /// image (and the program itself is recorded only as a digest).
+    ///
+    /// Meaningful at any pause point — after construction, after a
+    /// paused [`Machine::run_until`] (including mid-backup and
+    /// mid-recharge), or after completion.
+    pub fn snapshot(&self, program: &Program) -> Snapshot {
+        let fresh = Interpreter::with_mem_size(program, self.cfg.nvm.size_bytes as usize);
+        let mem_delta = snapshot::mem_delta(fresh.mem(), self.interp.mem());
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            program_digest: fresh.mem_digest(),
+            trace_digest: snapshot::trace_digest(&self.trace),
+            cycle: self.cycle,
+            phase: self.phase,
+            regs: self.interp.registers(),
+            pc: self.interp.pc(),
+            halted: self.interp.halted(),
+            executed: self.interp.executed(),
+            mem_delta,
+            mem_digest: self.interp.mem_digest(),
+            icache: self.ipath.cache.export_state(),
+            dcache: self.dpath.cache.export_state(),
+            ibuf: self.ipath.buf.export_state(),
+            dbuf: self.dpath.buf.export_state(),
+            ipf: self.ipath.pf.export_state(),
+            dpf: self.dpath.pf.export_state(),
+            ithrottle: self.ipath.throttle.export_state(),
+            dthrottle: self.dpath.throttle.export_state(),
+            nvm: self.nvm.export_state(),
+            cap_energy_nj: self.cap.energy_nj(),
+            stats: self.stats,
+            energy: self.energy,
+            pending_draw_nj: self.pending_draw_nj,
+            mark: self.mark,
+            event_counts: *self.tracer.counts(),
+            fault_skip_restore_reg: self.fault.skip_restore_reg.map(|r| r.index() as u32),
+        }
+    }
+
+    /// FNV-1a digest over the complete machine state (the canonical
+    /// JSON of [`Machine::snapshot`]): the equality oracle the snapshot
+    /// test suites compare split and uninterrupted runs with.
+    pub fn state_digest(&self, program: &Program) -> u64 {
+        self.snapshot(program).digest()
+    }
+
+    /// Reconstructs a machine from a snapshot, bit-identical to the one
+    /// that captured it.
+    ///
+    /// `program` and `trace` must be the originals: both are validated
+    /// against the digests recorded in the snapshot. Continuing the
+    /// returned machine performs the identical operation sequence an
+    /// uninterrupted run would, so results, energy totals (f64-exact)
+    /// and event counts all match.
+    ///
+    /// Tracing restarts from the snapshot's [`EventCounts`] under the
+    /// configured [`TraceMode`](crate::TraceMode) — but note that
+    /// resuming with a JSONL file sink truncates the file (the events of
+    /// the earlier leg live in the earlier process's file).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the snapshot's version, program, trace, or
+    /// any state component does not match this build / the supplied
+    /// inputs.
+    pub fn resume(
+        snap: &Snapshot,
+        program: &Program,
+        trace: PowerTrace,
+    ) -> Result<Machine, SnapshotError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let mut m = Machine::with_trace(snap.cfg.clone(), program, trace);
+        let program_digest = m.interp.mem_digest();
+        if snap.program_digest != program_digest {
+            return Err(SnapshotError::ProgramMismatch {
+                found: snap.program_digest,
+                expected: program_digest,
+            });
+        }
+        let trace_digest = snapshot::trace_digest(&m.trace);
+        if snap.trace_digest != trace_digest {
+            return Err(SnapshotError::TraceMismatch {
+                found: snap.trace_digest,
+                expected: trace_digest,
+            });
+        }
+
+        let image_len = m.interp.mem().len();
+        snapshot::apply_mem_delta(&snap.mem_delta, image_len, |addr, bytes| {
+            m.interp.write_bytes(addr, bytes)
+        })?;
+        if m.interp.mem_digest() != snap.mem_digest {
+            return Err(SnapshotError::State(
+                "memory digest mismatch after applying the delta".into(),
+            ));
+        }
+        m.interp
+            .restore_state(snap.regs, snap.pc, snap.halted, snap.executed);
+
+        m.ipath
+            .cache
+            .import_state(&snap.icache)
+            .map_err(|e| SnapshotError::State(format!("icache: {e}")))?;
+        m.dpath
+            .cache
+            .import_state(&snap.dcache)
+            .map_err(|e| SnapshotError::State(format!("dcache: {e}")))?;
+        m.ipath
+            .buf
+            .import_state(&snap.ibuf)
+            .map_err(|e| SnapshotError::State(format!("ibuf: {e}")))?;
+        m.dpath
+            .buf
+            .import_state(&snap.dbuf)
+            .map_err(|e| SnapshotError::State(format!("dbuf: {e}")))?;
+
+        for (state, path, which) in [
+            (&snap.ipf, &mut m.ipath, "instruction"),
+            (&snap.dpf, &mut m.dpath, "data"),
+        ] {
+            if state.kind_name() != path.pf.name() {
+                return Err(SnapshotError::State(format!(
+                    "{which} prefetcher is '{}' in the snapshot but the config builds '{}'",
+                    state.kind_name(),
+                    path.pf.name()
+                )));
+            }
+            path.pf = state.into_prefetcher();
+        }
+        for (state, path, which) in [
+            (&snap.ithrottle, &mut m.ipath, "instruction"),
+            (&snap.dthrottle, &mut m.dpath, "data"),
+        ] {
+            let restored = Throttle::from_state(state)
+                .map_err(|e| SnapshotError::State(format!("{which} throttle: {e}")))?;
+            if restored.is_ipex() != path.throttle.is_ipex() {
+                return Err(SnapshotError::State(format!(
+                    "{which} throttle IPEX mode disagrees with the configuration"
+                )));
+            }
+            path.throttle = restored;
+        }
+
+        m.nvm.import_state(&snap.nvm);
+        let cap_max_nj = snap.cfg.capacitor.energy_at_nj(snap.cfg.capacitor.v_max);
+        if !(snap.cap_energy_nj >= 0.0 && snap.cap_energy_nj <= cap_max_nj) {
+            return Err(SnapshotError::State(format!(
+                "capacitor energy {} nJ outside [0, {cap_max_nj}]",
+                snap.cap_energy_nj
+            )));
+        }
+        m.cap = Capacitor::with_energy_nj(snap.cfg.capacitor, snap.cap_energy_nj);
+
+        m.cycle = snap.cycle;
+        m.stats = snap.stats;
+        m.energy = snap.energy;
+        m.pending_draw_nj = snap.pending_draw_nj;
+        m.mark = snap.mark;
+        m.phase = snap.phase;
+        m.tracer.restore_counts(snap.event_counts);
+        m.fault.skip_restore_reg = match snap.fault_skip_restore_reg {
+            None => None,
+            Some(i) => Some(ehs_isa::Reg::from_index(i as usize).ok_or_else(|| {
+                SnapshotError::State(format!("fault register index {i} out of range"))
+            })?),
+        };
+        Ok(m)
     }
 
     /// Snapshot of all statistics so far.
@@ -316,7 +623,10 @@ impl Machine {
         self.observe_voltage(true, v);
         self.observe_voltage(false, v);
         if self.cap.needs_backup() {
-            return self.outage_and_reboot();
+            // Enter the outage phases; the main loop drives them so a
+            // pause (snapshot) can land mid-backup or mid-recharge.
+            self.begin_outage();
+            return Ok(());
         }
 
         // Instruction fetch through the ICache.
@@ -594,58 +904,64 @@ impl Machine {
         total
     }
 
-    /// JIT checkpoint, power-off, recharge, restore.
-    fn outage_and_reboot(&mut self) -> Result<(), SimError> {
-        let ideal = self.cfg.ideal_backup;
+    /// Starts an outage: emits the trigger event and enters the backup
+    /// phase (ideal backup skips straight to power loss + recharge).
+    fn begin_outage(&mut self) {
         let trigger_cycle = self.cycle;
         let trigger_v = self.cap.voltage();
         self.tracer.emit_with(|| SimEvent::OutageBegin {
             cycle: trigger_cycle,
             voltage: trigger_v,
         });
-
-        // --- backup ---
-        if !ideal {
-            let br_before = self.energy.backup_restore_nj;
-            let dirty = self.dpath.cache.dirty_count() + self.ipath.cache.dirty_count();
-            self.stats.checkpoint_blocks += dirty as u64;
-            let mut backup_cycles = self.cfg.backup_base_cycles;
-            for _ in 0..dirty {
-                let done = self.nvm.write(self.cycle + backup_cycles);
-                backup_cycles = done - self.cycle;
-                let w = self.cfg.nvm.block_write_nj();
-                self.energy.backup_restore_nj += w;
-                self.cap.consume_nj(w);
-            }
-            let mut bits = CORE_NVFF_BITS;
-            if self.ipath.throttle.is_ipex() {
-                bits += IPEX_NVFF_BITS;
-            }
-            if self.dpath.throttle.is_ipex() {
-                bits += IPEX_NVFF_BITS;
-            }
-            let store = self.cfg.energy.nvff_store_nj(bits);
-            self.energy.backup_restore_nj += store;
-            self.cap.consume_nj(store);
-            // Leakage during the backup window, drawn from the reserve
-            // (the NVM is active then: its leakage rides on the writes).
-            let (li, ld, lc, ln) = self.leak_nj;
-            let leak = (li + ld + lc + ln) * backup_cycles as f64;
-            self.energy.backup_restore_nj += leak;
-            self.cap.consume_nj(leak);
-            self.cycle += backup_cycles;
-            self.stats.off_cycles += backup_cycles;
-            let done_cycle = self.cycle;
-            let energy_nj = self.energy.backup_restore_nj - br_before;
-            self.tracer.emit_with(|| SimEvent::BackupDone {
-                cycle: done_cycle,
-                dirty_blocks: dirty as u64,
-                backup_cycles,
-                energy_nj,
-            });
+        if self.cfg.ideal_backup {
+            self.enter_power_loss();
+            return;
         }
+        let br_before = self.energy.backup_restore_nj;
+        let dirty = (self.dpath.cache.dirty_count() + self.ipath.cache.dirty_count()) as u64;
+        self.stats.checkpoint_blocks += dirty;
+        self.phase = Phase::Backup {
+            remaining: dirty,
+            backup_cycles: self.cfg.backup_base_cycles,
+            br_before,
+            dirty_total: dirty,
+        };
+    }
 
-        // --- volatile state is lost ---
+    /// Completes a backup after the last dirty-block write: NVFF store,
+    /// backup-window leakage, the `BackupDone` event, then power loss.
+    fn finish_backup(&mut self, backup_cycles: u64, br_before: f64, dirty_total: u64) {
+        let mut bits = CORE_NVFF_BITS;
+        if self.ipath.throttle.is_ipex() {
+            bits += IPEX_NVFF_BITS;
+        }
+        if self.dpath.throttle.is_ipex() {
+            bits += IPEX_NVFF_BITS;
+        }
+        let store = self.cfg.energy.nvff_store_nj(bits);
+        self.energy.backup_restore_nj += store;
+        self.cap.consume_nj(store);
+        // Leakage during the backup window, drawn from the reserve
+        // (the NVM is active then: its leakage rides on the writes).
+        let (li, ld, lc, ln) = self.leak_nj;
+        let leak = (li + ld + lc + ln) * backup_cycles as f64;
+        self.energy.backup_restore_nj += leak;
+        self.cap.consume_nj(leak);
+        self.cycle += backup_cycles;
+        self.stats.off_cycles += backup_cycles;
+        let done_cycle = self.cycle;
+        let energy_nj = self.energy.backup_restore_nj - br_before;
+        self.tracer.emit_with(|| SimEvent::BackupDone {
+            cycle: done_cycle,
+            dirty_blocks: dirty_total,
+            backup_cycles,
+            energy_nj,
+        });
+        self.enter_power_loss();
+    }
+
+    /// Volatile state is lost; the machine goes dark and recharges.
+    fn enter_power_loss(&mut self) {
         let lost_i = self.ipath.power_loss();
         let lost_d = self.dpath.power_loss();
         let loss_cycle = self.cycle;
@@ -658,26 +974,13 @@ impl Machine {
                 });
             }
         }
+        self.phase = Phase::Recharge;
+    }
 
-        // --- recharge (consuming nothing while off) ---
-        while !self.cap.can_boot() {
-            if self.cycle >= self.cfg.max_cycles {
-                self.stats.total_cycles = self.cycle;
-                return Err(SimError::CycleLimit {
-                    max_cycles: self.cfg.max_cycles,
-                });
-            }
-            let idx = self.cycle / CYCLES_PER_TRACE_SAMPLE;
-            let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
-            let take = boundary - self.cycle;
-            self.cap
-                .harvest_nj(self.trace.harvest_nj_per_cycle(idx) * take as f64);
-            self.cycle = boundary;
-            self.stats.off_cycles += take;
-        }
-
-        // --- reboot: restore registers, cold caches ---
-        if !ideal {
+    /// Reboot once the capacitor can boot: restore registers (cold
+    /// caches), reset per-power-cycle state, and resume execution.
+    fn reboot(&mut self) {
+        if !self.cfg.ideal_backup {
             let mut bits = CORE_NVFF_BITS;
             if self.ipath.throttle.is_ipex() {
                 bits += IPEX_NVFF_BITS;
@@ -710,7 +1013,7 @@ impl Machine {
             cycle: restore_cycle,
             power_cycle,
         });
-        Ok(())
+        self.phase = Phase::Run;
     }
 
     /// Emits a [`SimEvent::PowerCycleSummary`] for the power cycle
@@ -1015,6 +1318,139 @@ mod tests {
             .run()
             .unwrap();
         assert!(big.stats.power_cycles < small.stats.power_cycles);
+    }
+
+    #[test]
+    fn run_until_pauses_and_continuation_matches_whole_run() {
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let cfg = SimConfig::builder().ipex(Ipex::Both).build();
+        let whole = Machine::with_trace(cfg.clone(), &tiny_program(), trace.clone())
+            .run()
+            .unwrap();
+        let mut m = Machine::with_trace(cfg, &tiny_program(), trace);
+        let mut pauses = 0;
+        loop {
+            match m.run_until(m.cycle() + 10_000).unwrap() {
+                RunStatus::Paused => pauses += 1,
+                RunStatus::Completed(split) => {
+                    assert_eq!(split.stats, whole.stats);
+                    assert_eq!(split.energy, whole.energy);
+                    assert_eq!(split.nvm, whole.nvm);
+                    break;
+                }
+            }
+        }
+        assert!(pauses > 3, "expected several pauses, got {pauses}");
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let program = tiny_program();
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let cfg = SimConfig::builder().ipex(Ipex::Both).build();
+        let whole = Machine::with_trace(cfg.clone(), &program, trace.clone())
+            .run()
+            .unwrap();
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        assert!(matches!(m.run_until(40_000).unwrap(), RunStatus::Paused));
+        // Round-trip the snapshot through its JSON wire format.
+        let json = m.snapshot(&program).to_json();
+        let snap = Snapshot::from_json(&json).unwrap();
+        let mut r = Machine::resume(&snap, &program, trace).unwrap();
+        // The resumed machine must be in the captured state exactly...
+        assert_eq!(r.state_digest(&program), snap.digest());
+        // ...and finishing it must match the uninterrupted run.
+        let split = r.run().unwrap();
+        assert_eq!(split.stats, whole.stats);
+        assert_eq!(split.energy, whole.energy);
+        assert_eq!(split.nvm, whole.nvm);
+        assert_eq!(split.icache, whole.icache);
+        assert_eq!(split.dcache, whole.dcache);
+    }
+
+    #[test]
+    fn snapshot_can_land_mid_outage_and_still_resume_exactly() {
+        let program = tiny_program();
+        // Weak power: outages dominate, so tight pause targets land in
+        // Backup/Recharge phases regularly. A small NVM keeps the many
+        // per-pause memory-delta scans cheap in debug builds.
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        let mut cfg = SimConfig::default();
+        cfg.nvm.size_bytes = 1 << 21;
+        let whole = Machine::with_trace(cfg.clone(), &program, trace.clone())
+            .run()
+            .unwrap();
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        let (mut saw_backup, mut saw_recharge) = (false, false);
+        let final_stats = loop {
+            match m.run_until(m.cycle() + 500).unwrap() {
+                RunStatus::Completed(r) => break *r,
+                RunStatus::Paused => match m.phase() {
+                    Phase::Backup { .. } => saw_backup = true,
+                    Phase::Recharge => saw_recharge = true,
+                    Phase::Run => {}
+                },
+            }
+            // Swap the machine for its snapshot-resumed double at every
+            // pause: any missed state component breaks the final totals.
+            let snap = Snapshot::from_json(&m.snapshot(&program).to_json()).unwrap();
+            m = Machine::resume(&snap, &program, trace.clone()).unwrap();
+        };
+        assert!(saw_recharge, "pauses never landed mid-recharge");
+        assert!(saw_backup || whole.stats.checkpoint_blocks == 0);
+        assert_eq!(final_stats.stats, whole.stats);
+        assert_eq!(final_stats.energy, whole.energy);
+        assert_eq!(final_stats.nvm, whole.nvm);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        let program = tiny_program();
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let mut m = Machine::with_trace(SimConfig::default(), &program, trace.clone());
+        let _ = m.run_until(10_000).unwrap();
+        let snap = m.snapshot(&program);
+
+        let other_trace = PowerTrace::constant_mw(4.0, 16);
+        assert!(matches!(
+            Machine::resume(&snap, &program, other_trace),
+            Err(SnapshotError::TraceMismatch { .. })
+        ));
+
+        let other_program = asm::assemble(".text\nmain:\n li a0, 1\n halt\n").unwrap();
+        assert!(matches!(
+            Machine::resume(&snap, &other_program, trace.clone()),
+            Err(SnapshotError::ProgramMismatch { .. })
+        ));
+
+        let mut stale = snap.clone();
+        stale.version += 1;
+        assert!(matches!(
+            Machine::resume(&stale, &program, trace),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_counts_survive_snapshot_resume() {
+        let program = tiny_program();
+        let trace = PowerTrace::constant_mw(2.5, 16);
+        let cfg = SimConfig::default().with_trace_mode(crate::TraceMode::Counting);
+        let whole_counts = {
+            let mut m = Machine::with_trace(cfg.clone(), &program, trace.clone());
+            m.run().unwrap();
+            *m.trace_counts()
+        };
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        let _ = m.run_until(60_000).unwrap();
+        let snap = m.snapshot(&program);
+        let mut r = Machine::resume(&snap, &program, trace).unwrap();
+        r.run().unwrap();
+        assert_eq!(*r.trace_counts(), whole_counts);
+        assert!(
+            whole_counts.cache_fill > 0,
+            "counting mode must tally events"
+        );
     }
 
     #[test]

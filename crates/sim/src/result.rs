@@ -54,7 +54,7 @@ impl SimStats {
 }
 
 /// Everything measured by one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Aggregate machine counters.
     pub stats: SimStats,

@@ -447,6 +447,12 @@ impl Tracer {
         &self.counts
     }
 
+    /// Overwrites the running tallies — used by snapshot resume so a
+    /// split run's final counts match an uninterrupted run's.
+    pub fn restore_counts(&mut self, counts: EventCounts) {
+        self.counts = counts;
+    }
+
     /// Flushes the sink, if any.
     pub fn flush(&mut self) {
         if let Some(sink) = &mut self.sink {

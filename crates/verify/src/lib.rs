@@ -19,7 +19,11 @@
 //!    outage storms, random walks), cross-checks every run against the
 //!    oracle and the invariant sink, and hands any failing trace to the
 //!    **shrinker** ([`shrink`]), which minimizes it to the shortest
-//!    sample vector that still reproduces the failure.
+//!    sample vector that still reproduces the failure. The
+//!    checkpoint-accelerated variant ([`checkpoint`]) resumes each ddmin
+//!    candidate from the nearest pre-failure machine snapshot
+//!    (`ehs_sim::snapshot`) instead of re-simulating from cycle 0, with
+//!    bit-identical verdicts.
 //! 3. **Invariant checkers** ([`invariants`]) — a
 //!    [`TraceSink`](ehs_sim::TraceSink) that audits the event stream
 //!    while a run is in flight: per-power-cycle energy conservation,
@@ -29,16 +33,22 @@
 //!
 //! Failures found by the fuzzer are committed as JSON cases under
 //! `tests/corpus/` ([`corpus`]) and replayed by a tier-1 test, so every
-//! past counterexample stays fixed forever. The `verify` binary in
+//! past counterexample stays fixed forever. A second corpus
+//! ([`snapcorpus`]) pins complete golden machine snapshots under
+//! `tests/corpus/snapshots/`, turning any unintended change to timing,
+//! energy or controller state into a field-level diff. The `verify` binary in
 //! `ehs-bench` exposes all of this on the command line
 //! (`verify matrix | fuzz | shrink`).
 
+pub mod checkpoint;
 pub mod corpus;
 pub mod fuzz;
 pub mod invariants;
 pub mod oracle;
 pub mod shrink;
+pub mod snapcorpus;
 
+pub use checkpoint::{shrink_trace_checkpointed, CheckpointShrinkStats};
 pub use corpus::CorpusCase;
 pub use fuzz::{FuzzFailure, FuzzOptions, FuzzReport};
 pub use invariants::InvariantSink;

@@ -183,23 +183,41 @@ pub fn check_program(
         None
     };
     let run = m.run();
-    match (golden, run) {
-        (Ok(g), Ok(result)) => {
-            let machine = ArchState::of_machine(&m);
-            if let Some(d) = Divergence::between(g, &machine) {
-                return CheckOutcome::Diverged(d);
-            }
-            if let Some(sink) = sink {
-                let violations = sink.finish(Some(&result));
-                if !violations.is_empty() {
-                    return CheckOutcome::Diverged(Divergence::note(format!(
-                        "invariant violations: {}",
-                        violations.join(" | ")
-                    )));
-                }
-            }
-            CheckOutcome::Match
+    let machine = ArchState::of_machine(&m);
+    let outcome = judge(golden, &run, &machine);
+    if !outcome.is_match() {
+        return outcome;
+    }
+    if let (Some(sink), Ok(result)) = (sink, &run) {
+        let violations = sink.finish(Some(result));
+        if !violations.is_empty() {
+            return CheckOutcome::Diverged(Divergence::note(format!(
+                "invariant violations: {}",
+                violations.join(" | ")
+            )));
         }
+    }
+    CheckOutcome::Match
+}
+
+/// The differential verdict table: compares a finished machine run (its
+/// outcome plus final architectural state) against the golden state.
+///
+/// This is the state-only core of [`check_program`], shared with callers
+/// that drive the machine themselves — e.g. the checkpointed shrinker
+/// ([`crate::checkpoint`]), which runs in snapshot/resume legs. Invariant
+/// violations are *not* judged here; they need a sink attached for the
+/// whole run.
+pub fn judge(
+    golden: &Result<ArchState, ExecError>,
+    run: &Result<ehs_sim::SimResult, SimError>,
+    machine: &ArchState,
+) -> CheckOutcome {
+    match (golden, run) {
+        (Ok(g), Ok(_)) => match Divergence::between(g, machine) {
+            Some(d) => CheckOutcome::Diverged(d),
+            None => CheckOutcome::Match,
+        },
         (Ok(_), Err(SimError::CycleLimit { max_cycles })) => CheckOutcome::Inconclusive(format!(
             "machine hit the {max_cycles}-cycle limit (trace cannot sustain the run)"
         )),
@@ -210,7 +228,7 @@ pub fn check_program(
             "golden model faulted ({ge}) where the machine halted"
         ))),
         (Err(ge), Err(SimError::Exec(me))) => {
-            if *ge == me {
+            if ge == me {
                 CheckOutcome::Match
             } else {
                 CheckOutcome::Diverged(Divergence::note(format!(

@@ -1,0 +1,131 @@
+//! The golden-state snapshot corpus.
+//!
+//! Ten committed machine snapshots — five suite workloads × two
+//! controller configurations, each run under the same fixed weak supply
+//! to the same fixed cycle count — pin the simulator's *complete*
+//! mid-run state bit-for-bit: registers, memory delta, cache and
+//! prefetch-buffer contents, prefetcher and throttle state, capacitor
+//! energy, statistics and event counts (every field of
+//! [`ehs_sim::Snapshot`]). Any change to instruction timing, energy
+//! accounting, replacement policy or outage handling shifts at least one
+//! field and fails the drift test (`tests/snapshot_corpus.rs`) with a
+//! field-level diff, which makes *intentional* behaviour changes
+//! explicit too: regenerate with
+//! `cargo run --release -p ehs-bench --bin regen_snapshots` and commit
+//! the diff.
+//!
+//! The supply is weak enough (3 mW) that every entry has lived through
+//! outages by the capture cycle, so backup/restore and recharge state is
+//! covered, not just steady-state execution.
+
+use std::path::{Path, PathBuf};
+
+use ehs_energy::PowerTrace;
+use ehs_sim::{Machine, Snapshot};
+
+use crate::oracle::ConfigId;
+
+/// Cycle count every corpus snapshot is captured at.
+pub const SNAP_CYCLE: u64 = 400_000;
+
+/// The fixed supply: weak enough to force outages, strong enough that
+/// every workload keeps making progress.
+pub const TRACE_MW: f64 = 3.0;
+
+/// Samples in the (cyclically repeated) supply trace.
+pub const TRACE_SAMPLES: usize = 16;
+
+/// The five suite workloads in the corpus — small, fast-starting
+/// programs with distinct access patterns (string scans, GSM decode,
+/// quicksort, scalar math, adaptive-predictor codec).
+pub const WORKLOADS: [&str; 5] = ["strings", "gsmd", "qsort", "basicm", "g721e"];
+
+/// The two controller configurations each workload is captured under.
+pub const CONFIGS: [ConfigId; 2] = [ConfigId::Baseline, ConfigId::IpexBoth];
+
+/// One corpus entry: a (workload, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapSpec {
+    /// Suite workload name.
+    pub workload: &'static str,
+    /// Controller configuration.
+    pub config: ConfigId,
+}
+
+impl SnapSpec {
+    /// The entry's committed file name, e.g. `strings-ipex_both.json`.
+    pub fn file_name(&self) -> String {
+        format!("{}-{}.json", self.workload, self.config.name())
+    }
+}
+
+/// All ten corpus entries, in committed order.
+pub fn specs() -> Vec<SnapSpec> {
+    WORKLOADS
+        .iter()
+        .flat_map(|&workload| CONFIGS.map(|config| SnapSpec { workload, config }))
+        .collect()
+}
+
+/// The committed corpus directory, `tests/corpus/snapshots/` at the
+/// repository root.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the repo root")
+        .join("tests/corpus/snapshots")
+}
+
+/// Deterministically regenerates one corpus snapshot: runs the entry's
+/// machine from cold to [`SNAP_CYCLE`] and captures its state.
+///
+/// # Panics
+///
+/// Panics if the spec names an unknown workload or the run faults
+/// before the capture cycle.
+pub fn generate(spec: &SnapSpec) -> Snapshot {
+    let w = ehs_workloads::by_name(spec.workload)
+        .unwrap_or_else(|| panic!("unknown corpus workload `{}`", spec.workload));
+    let program = w.program();
+    let trace = PowerTrace::constant_mw(TRACE_MW, TRACE_SAMPLES);
+    let mut machine = Machine::with_trace(spec.config.build(), &program, trace);
+    machine
+        .run_until(SNAP_CYCLE)
+        .unwrap_or_else(|e| panic!("corpus entry {} failed: {e}", spec.file_name()));
+    machine.snapshot(&program)
+}
+
+/// The exact committed file contents for one entry (pretty JSON plus a
+/// trailing newline).
+pub fn render(snap: &Snapshot) -> String {
+    snap.to_json() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_ten_distinct_entries() {
+        let specs = specs();
+        assert_eq!(specs.len(), 10);
+        let names: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| s.file_name()).collect();
+        assert_eq!(names.len(), 10, "file names collide");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SnapSpec {
+            workload: "strings",
+            config: ConfigId::IpexBoth,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.digest(), b.digest());
+        // The weak supply forced real outage state into the snapshot.
+        assert!(a.stats.power_cycles > 1, "no outage before the capture");
+    }
+}

@@ -8,6 +8,7 @@ use ehs_repro::mem::{block_of, Cache, CacheConfig, PrefetchBuffer, BLOCK_SIZE};
 use ehs_repro::prefetch::{
     AccessEvent, AccessOutcome, DataPrefetcherKind, InstPrefetcherKind, Prefetcher,
 };
+use ehs_repro::sim::{Ipex, Machine, SimConfig, Snapshot};
 
 /// An arbitrary demand-access event; instruction prefetchers only look at
 /// the pc, so the same stream works for both trains.
@@ -270,6 +271,66 @@ proptest! {
         ] {
             assert_power_loss_wipes(&|| kind.build(degree), &warmup, &probe);
         }
+    }
+
+    /// Snapshot/resume is computation-neutral for *every* prefetcher
+    /// kind: running to a random cycle, serializing the complete machine
+    /// state through JSON, resuming a fresh machine from it, and running
+    /// on must land in the bit-identical full state (digest covers
+    /// registers, memory, caches, prefetcher/throttle state, capacitor
+    /// energy, statistics, energy totals and event counts) as the
+    /// uninterrupted run. Random weak supplies make many snapshots land
+    /// mid-outage (recharge phase); mid-backup pauses are pinned by a
+    /// dedicated `ehs-sim` unit test.
+    #[test]
+    fn snapshot_resume_equivalence_across_prefetchers(
+        ikind in prop_oneof![
+            Just(InstPrefetcherKind::None),
+            Just(InstPrefetcherKind::Sequential),
+            Just(InstPrefetcherKind::Markov),
+            Just(InstPrefetcherKind::Tifs),
+        ],
+        dkind in prop_oneof![
+            Just(DataPrefetcherKind::None),
+            Just(DataPrefetcherKind::Stride),
+            Just(DataPrefetcherKind::Ghb),
+            Just(DataPrefetcherKind::BestOffset),
+            Just(DataPrefetcherKind::Ampm),
+        ],
+        ipex in any::<bool>(),
+        split in 2_000u64..150_000,
+        extra in 2_000u64..80_000,
+        samples in proptest::collection::vec(0.5f64..40.0, 4..24),
+    ) {
+        let w = ehs_repro::workloads::by_name("strings").unwrap();
+        let program = w.program();
+        let mut cfg = if ipex {
+            SimConfig::builder().ipex(Ipex::Both).build()
+        } else {
+            SimConfig::builder().build()
+        };
+        cfg.inst_prefetcher = ikind;
+        cfg.data_prefetcher = dkind;
+        // Small memory keeps per-case snapshot capture cheap.
+        cfg.nvm.size_bytes = 1 << 21;
+        let trace = PowerTrace::from_samples_mw(samples);
+        let target = split + extra;
+
+        let mut whole = Machine::with_trace(cfg.clone(), &program, trace.clone());
+        whole.run_until(target).expect("whole run");
+
+        let mut first = Machine::with_trace(cfg, &program, trace.clone());
+        first.run_until(split).expect("first leg");
+        let snap = Snapshot::from_json(&first.snapshot(&program).to_json())
+            .expect("snapshot round-trips through JSON");
+        let mut resumed = Machine::resume(&snap, &program, trace).expect("snapshot resumes");
+        prop_assert_eq!(resumed.state_digest(&program), snap.digest());
+        resumed.run_until(target).expect("resumed leg");
+        prop_assert_eq!(
+            resumed.state_digest(&program),
+            whole.state_digest(&program),
+            "split at {} diverged from the uninterrupted run", snap.cycle
+        );
     }
 
     /// The IPEX degree ladder is monotone in voltage: a lower voltage

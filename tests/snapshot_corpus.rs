@@ -1,0 +1,80 @@
+//! Golden-state snapshot corpus drift test.
+//!
+//! Each committed file under `tests/corpus/snapshots/` is the complete
+//! machine state of one (workload, configuration) pair at a fixed cycle
+//! under a fixed weak supply (see `ehs_repro::verify::snapcorpus`).
+//! Regenerating every entry from cold must reproduce the committed
+//! bytes exactly: any change to instruction timing, energy accounting,
+//! cache/prefetcher behaviour or outage handling shifts at least one
+//! field and fails here — with a field-level diff, so the first drifted
+//! quantity is named directly instead of buried in 30 kB of JSON.
+//!
+//! Intentional behaviour changes regenerate the corpus
+//! (`cargo run --release -p ehs-bench --bin regen_snapshots`) and
+//! commit the diff alongside the change.
+
+use ehs_repro::sim::canon::content_diff;
+use ehs_repro::sim::Snapshot;
+use ehs_repro::verify::{run_parallel, snapcorpus};
+
+#[test]
+fn snapshot_corpus_has_not_drifted() {
+    let dir = snapcorpus::corpus_dir();
+    let specs = snapcorpus::specs();
+    assert_eq!(specs.len(), 10);
+    let checks = run_parallel(&specs, |spec| {
+        let path = dir.join(spec.file_name());
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run regen_snapshots)", path.display()));
+        let fresh = snapcorpus::generate(spec);
+        (spec.file_name(), committed, fresh)
+    });
+    let mut drifted = Vec::new();
+    for (name, committed, fresh) in checks {
+        if committed == snapcorpus::render(&fresh) {
+            continue;
+        }
+        // Byte mismatch: name the drifted fields, not the whole file.
+        let diff = match Snapshot::from_json(&committed) {
+            Ok(old) => content_diff(&old, &fresh).join("\n    "),
+            Err(e) => format!("committed file no longer parses: {e}"),
+        };
+        drifted.push(format!("  {name}:\n    {diff}"));
+    }
+    assert!(
+        drifted.is_empty(),
+        "{} of 10 golden snapshots drifted (intentional? rerun regen_snapshots and \
+         commit the diff):\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn corpus_entries_capture_post_outage_state() {
+    // The corpus supply is weak by construction; every committed entry
+    // must have survived at least one outage, so backup/restore and
+    // recharge state is pinned too.
+    let dir = snapcorpus::corpus_dir();
+    for spec in snapcorpus::specs() {
+        let path = dir.join(spec.file_name());
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run regen_snapshots)", path.display()));
+        let snap = Snapshot::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            snap.stats.power_cycles > 1,
+            "{}: captured before any outage (power_cycles = {})",
+            spec.file_name(),
+            snap.stats.power_cycles
+        );
+        // The capture lands at the first pause point at or after the
+        // target cycle (instruction latencies and recharge ticks are
+        // indivisible), so allow the sub-tick overshoot.
+        assert!(
+            snap.cycle >= snapcorpus::SNAP_CYCLE && snap.cycle < snapcorpus::SNAP_CYCLE + 10_000,
+            "{}: captured at cycle {}",
+            spec.file_name(),
+            snap.cycle
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Snapshot/resume determinism across the full 20-workload suite.
+//!
+//! For every suite workload under a brownout-style supply (healthy base
+//! with periodic single-sample dips — the adversarial fuzzer's first
+//! strategy), running to a split point, serializing the complete
+//! machine state through JSON, resuming a fresh machine from it, and
+//! running on must land in the bit-identical full state as the
+//! uninterrupted run: the comparison is the snapshot digest over
+//! registers, memory delta, cache and prefetch-buffer contents,
+//! prefetcher/throttle state, capacitor energy, statistics, energy
+//! breakdown and event counts. The horizon is bounded so the suite
+//! stays tier-1 fast; completion is not required for equivalence.
+
+use ehs_repro::energy::PowerTrace;
+use ehs_repro::sim::{Ipex, Machine, SimConfig, Snapshot};
+use ehs_repro::verify::run_parallel;
+use ehs_repro::workloads::SUITE;
+
+/// Deterministic brownout-style supply: a healthy base with a
+/// single-sample dip every 7th sample and a strong recovery tail.
+fn brownout_trace() -> PowerTrace {
+    let mut samples: Vec<f64> = (0..96)
+        .map(|i| {
+            if i % 7 == 3 {
+                0.5
+            } else {
+                24.0 + (i % 5) as f64
+            }
+        })
+        .collect();
+    samples.extend(std::iter::repeat_n(35.0, 16));
+    PowerTrace::from_samples_mw(samples)
+}
+
+const SPLIT_CYCLE: u64 = 600_000;
+const HORIZON: u64 = 1_500_000;
+
+#[test]
+fn snapshot_resume_is_bit_identical_for_all_20_workloads() {
+    let trace = brownout_trace();
+    let failures: Vec<String> = run_parallel(&SUITE, |w| {
+        let program = w.program();
+        // Alternate configurations so both controller shapes are swept.
+        let cfg = if w.name().len() % 2 == 0 {
+            SimConfig::builder().ipex(Ipex::Both).build()
+        } else {
+            SimConfig::builder().build()
+        };
+
+        let mut whole = Machine::with_trace(cfg.clone(), &program, trace.clone());
+        whole.run_until(HORIZON).expect("whole run");
+
+        let mut first = Machine::with_trace(cfg, &program, trace.clone());
+        first.run_until(SPLIT_CYCLE).expect("first leg");
+        let snap = match Snapshot::from_json(&first.snapshot(&program).to_json()) {
+            Ok(s) => s,
+            Err(e) => return Some(format!("{}: snapshot does not round-trip: {e}", w.name())),
+        };
+        let mut resumed = match Machine::resume(&snap, &program, trace.clone()) {
+            Ok(m) => m,
+            Err(e) => return Some(format!("{}: snapshot does not resume: {e}", w.name())),
+        };
+        if resumed.state_digest(&program) != snap.digest() {
+            return Some(format!("{}: resumed state != snapshot", w.name()));
+        }
+        resumed.run_until(HORIZON).expect("resumed leg");
+        if resumed.state_digest(&program) != whole.state_digest(&program) {
+            return Some(format!(
+                "{}: split run diverged from the uninterrupted run",
+                w.name()
+            ));
+        }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "snapshot/resume broke determinism:\n  {}",
+        failures.join("\n  ")
+    );
+}

@@ -242,6 +242,32 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// Identity impls so callers can decode to the raw [`Content`] tree and
+/// pick it apart leniently (e.g. schema-migration fallbacks).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_content(&self) -> Content {
         match self {
