@@ -82,6 +82,39 @@ fn bench_interpreter(c: &mut Criterion) {
     });
 }
 
+/// The dispatch-strategy comparison behind DESIGN.md §8: the same
+/// sequential-prefetcher observe stream driven through a `Box<dyn
+/// Prefetcher>` (virtual call per event) and through the
+/// [`AnyPrefetcher`] enum (match, inlinable). The event pattern
+/// advances one block per event so the prefetcher does real work each
+/// time rather than hitting its same-block early-out.
+fn bench_dispatch(c: &mut Criterion) {
+    use ehs_prefetch::InstPrefetcherKind;
+
+    c.bench_function("dispatch/boxed_dyn_observe", |b| {
+        let mut p: Box<dyn Prefetcher> = InstPrefetcherKind::Sequential.build(2);
+        let mut out = Vec::with_capacity(8);
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(16);
+            out.clear();
+            p.observe(&AccessEvent::fetch(pc, AccessOutcome::Miss), &mut out);
+            black_box(out.len())
+        });
+    });
+    c.bench_function("dispatch/enum_observe", |b| {
+        let mut p = InstPrefetcherKind::Sequential.build_any(2);
+        let mut out = Vec::with_capacity(8);
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(16);
+            out.clear();
+            p.observe(&AccessEvent::fetch(pc, AccessOutcome::Miss), &mut out);
+            black_box(out.len())
+        });
+    });
+}
+
 fn bench_machine(c: &mut Criterion) {
     let program = ehs_workloads::by_name("gsmd").unwrap().program();
     let trace = PowerTrace::constant_mw(50.0, 16);
@@ -125,6 +158,7 @@ criterion_group!(
     benches,
     bench_cache,
     bench_prefetchers,
+    bench_dispatch,
     bench_interpreter,
     bench_machine,
     bench_tracing

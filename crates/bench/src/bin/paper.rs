@@ -5,7 +5,8 @@
 //!
 //!   --only fig10,tab2        render only the listed figures (short or file ids)
 //!   --no-cache               don't read or write results/.cache
-//!   --jobs N                 worker-pool width (default: available parallelism)
+//!   --jobs N                 worker-pool width (default: EHS_SWEEP_JOBS env
+//!                            var if set, else available parallelism)
 //!   --checkpoint-every N     crash-checkpoint in-flight simulations every N
 //!                            simulated cycles (default 250000000; 0 disables)
 //!   --list                   print the registry and exit
@@ -43,11 +44,17 @@ struct BenchRecord {
     in_flight_waits: u64,
     checkpoint_every_cycles: u64,
     resumed: u64,
-    cycles_simulated: u64,
+    /// Cycles simulated in-process. `None` (JSON `null`) marks records
+    /// from before cycle accounting existed, where the true count is
+    /// unknowable — distinct from a genuine 0 (an all-cache-hit run).
+    cycles_simulated: Option<u64>,
 }
 
 /// The record shape before the checkpoint counters existed. Old entries
-/// migrate with the new counters zeroed instead of wiping the history.
+/// migrate instead of wiping the history: the checkpoint counters were
+/// truly zero then (the feature did not exist), while the cycle count —
+/// which the run did burn but never measured — migrates to "unknown"
+/// via [`fixup_unknown_cycles`].
 #[derive(Deserialize)]
 struct BenchRecordV0 {
     unix_ms: u64,
@@ -68,10 +75,10 @@ struct BenchRecordV0 {
 /// log is advisory).
 fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
     if let Ok(r) = BenchRecord::from_content(c) {
-        return Some(r);
+        return Some(fixup_unknown_cycles(r));
     }
     let old = BenchRecordV0::from_content(c).ok()?;
-    Some(BenchRecord {
+    Some(fixup_unknown_cycles(BenchRecord {
         unix_ms: old.unix_ms,
         wall_ms: old.wall_ms,
         jobs: old.jobs,
@@ -85,8 +92,21 @@ fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
         in_flight_waits: old.in_flight_waits,
         checkpoint_every_cycles: 0,
         resumed: 0,
-        cycles_simulated: 0,
-    })
+        cycles_simulated: Some(0),
+    }))
+}
+
+/// Repairs records whose `cycles_simulated` predates cycle accounting.
+/// A run that simulated at least one point necessarily burned cycles,
+/// so `simulated > 0` with a zero (or V0-migrated) cycle count is a
+/// provably-false value; it becomes `None` ("unknown") rather than
+/// keeping the lie in the log. A zero alongside `simulated == 0` is a
+/// genuine all-cache-hit run and is kept.
+fn fixup_unknown_cycles(mut r: BenchRecord) -> BenchRecord {
+    if r.simulated > 0 && r.cycles_simulated == Some(0) {
+        r.cycles_simulated = None;
+    }
+    r
 }
 
 fn usage() -> ! {
@@ -217,7 +237,7 @@ fn main() {
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0),
         wall_ms,
-        jobs: sweep_jobs(jobs) as u64,
+        jobs: sweep.jobs() as u64,
         cache_enabled: use_cache,
         figures: figures.len() as u64,
         requested: stats.requested,
@@ -228,17 +248,9 @@ fn main() {
         in_flight_waits: stats.in_flight_waits,
         checkpoint_every_cycles: checkpoint_every,
         resumed: stats.resumed,
-        cycles_simulated: stats.cycles_simulated,
+        cycles_simulated: Some(stats.cycles_simulated),
     };
     append_bench_record("BENCH_sweep.json", record);
-}
-
-fn sweep_jobs(jobs: Option<usize>) -> usize {
-    jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
 }
 
 /// Appends one record to the JSON array in `path` (creating it if

@@ -97,8 +97,11 @@ impl std::fmt::Display for PointKey {
 /// Tuning knobs for a [`Sweep`].
 #[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
-    /// Worker-pool width for simulating misses; `None` uses
-    /// [`std::thread::available_parallelism`].
+    /// Worker-pool width for simulating misses; `None` consults the
+    /// `EHS_SWEEP_JOBS` environment variable, then
+    /// [`std::thread::available_parallelism`]. The env override exists
+    /// for containers whose cgroup quota misreports the usable core
+    /// count.
     pub jobs: Option<usize>,
     /// Directory for the on-disk result cache (typically
     /// `results/.cache`); `None` disables persistence entirely.
@@ -108,6 +111,16 @@ pub struct SweepOptions {
     /// `--no-cache` run re-simulates every point yet still survives
     /// being killed mid-flight.
     pub checkpoints: Option<CheckpointPolicy>,
+}
+
+/// The `EHS_SWEEP_JOBS` override, if set to a positive integer.
+/// Anything else (unset, empty, garbage, zero) is ignored rather than
+/// erroring: the variable is an operator escape hatch, not an API.
+fn env_jobs() -> Option<usize> {
+    std::env::var("EHS_SWEEP_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// Where and how often in-flight simulations checkpoint.
@@ -199,7 +212,7 @@ pub struct Sweep {
 impl Sweep {
     /// Builds an engine with the given options.
     pub fn new(opts: SweepOptions) -> Sweep {
-        let jobs = opts.jobs.unwrap_or_else(|| {
+        let jobs = opts.jobs.or_else(env_jobs).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
@@ -225,6 +238,15 @@ impl Sweep {
     /// binaries and tests use.
     pub fn in_memory() -> Sweep {
         Sweep::new(SweepOptions::default())
+    }
+
+    /// The worker-pool width this engine actually uses. This is the
+    /// resolved value (explicit option, `EHS_SWEEP_JOBS`, or detected
+    /// parallelism, clamped to at least 1), so callers recording "how
+    /// many workers ran" must read it from here rather than re-deriving
+    /// it from the options they passed in.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The standard on-disk cache location, `<results>/​.cache`.
@@ -399,11 +421,11 @@ impl Sweep {
                         out.result
                     }
                     None => {
-                        let r = crate::run_one(workload, &point.config, &trace);
-                        if let Ok(ok) = &r {
-                            self.cycles_simulated
-                                .fetch_add(ok.stats.total_cycles, Ordering::Relaxed);
-                        }
+                        // Counted even when the outcome is an error: a
+                        // point that hit its cycle budget or faulted
+                        // still simulated every one of those cycles.
+                        let (r, cycles) = crate::run_one_counted(workload, &point.config, &trace);
+                        self.cycles_simulated.fetch_add(cycles, Ordering::Relaxed);
                         r
                     }
                 };

@@ -205,6 +205,11 @@ impl IpexController {
     /// confidence ramp chose above `Ripd`.
     pub fn filter(&mut self, candidates: &mut Vec<u32>) -> usize {
         let total = candidates.len();
+        // Most accesses propose nothing (the prefetcher only triggers on
+        // new blocks); every update below is a no-op then.
+        if total == 0 {
+            return 0;
+        }
         let keep = if self.mode == Mode::HighPerformance {
             total
         } else {
@@ -343,6 +348,7 @@ impl Throttle {
     }
 
     /// Candidate filtering; passthrough keeps everything.
+    #[inline]
     pub fn filter(&mut self, candidates: &mut Vec<u32>) -> usize {
         match self {
             Throttle::Passthrough => candidates.len(),
@@ -379,6 +385,18 @@ impl Throttle {
         match self {
             Throttle::Passthrough => None,
             Throttle::Ipex(c) => Some(c.current_degree()),
+        }
+    }
+
+    /// The voltage thresholds this throttle reacts to, highest first
+    /// (empty for passthrough). [`Throttle::observe_voltage`] is a no-op
+    /// exactly while the voltage stays within one inter-threshold band,
+    /// which is what lets the simulator batch observations over a safe
+    /// energy window (see `ehs-sim`'s `Machine`).
+    pub fn thresholds(&self) -> &[f64] {
+        match self {
+            Throttle::Passthrough => &[],
+            Throttle::Ipex(c) => c.thresholds(),
         }
     }
 

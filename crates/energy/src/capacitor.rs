@@ -83,6 +83,10 @@ impl CapacitorConfig {
 pub struct Capacitor {
     cfg: CapacitorConfig,
     energy_nj: f64,
+    /// Capacity at `v_max`, cached so the per-cycle harvest saturation
+    /// check is a compare instead of a `½CV²` recomputation. Always
+    /// exactly `cfg.energy_at_nj(cfg.v_max)`.
+    max_nj: f64,
 }
 
 impl Capacitor {
@@ -93,9 +97,11 @@ impl Capacitor {
     /// Panics if the configuration's voltage ordering is invalid.
     pub fn full(cfg: CapacitorConfig) -> Capacitor {
         cfg.validate();
+        let max_nj = cfg.energy_at_nj(cfg.v_max);
         Capacitor {
             cfg,
-            energy_nj: cfg.energy_at_nj(cfg.v_max),
+            energy_nj: max_nj,
+            max_nj,
         }
     }
 
@@ -113,6 +119,7 @@ impl Capacitor {
         Capacitor {
             cfg,
             energy_nj: cfg.energy_at_nj(voltage),
+            max_nj: cfg.energy_at_nj(cfg.v_max),
         }
     }
 
@@ -132,7 +139,11 @@ impl Capacitor {
             energy_nj >= 0.0 && energy_nj <= cfg.energy_at_nj(cfg.v_max),
             "stored energy out of range"
         );
-        Capacitor { cfg, energy_nj }
+        Capacitor {
+            cfg,
+            energy_nj,
+            max_nj: cfg.energy_at_nj(cfg.v_max),
+        }
     }
 
     /// The electrical configuration.
@@ -156,8 +167,7 @@ impl Capacitor {
     /// the harvester's regulator sheds power once the capacitor is full).
     pub fn harvest_nj(&mut self, nj: f64) -> f64 {
         debug_assert!(nj >= 0.0);
-        let cap = self.cfg.energy_at_nj(self.cfg.v_max);
-        let absorbed = nj.min(cap - self.energy_nj);
+        let absorbed = nj.min(self.max_nj - self.energy_nj);
         self.energy_nj += absorbed;
         absorbed
     }

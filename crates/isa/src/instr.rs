@@ -43,6 +43,7 @@ impl MemWidth {
 /// Broad execution class of an instruction; the timing simulator assigns
 /// latency and dynamic energy per class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum ExecClass {
     /// Single-cycle integer ALU operation.
     Alu,
@@ -60,6 +61,18 @@ pub enum ExecClass {
     Jump,
     /// Program termination.
     Halt,
+}
+
+impl ExecClass {
+    /// Number of execution classes (for per-class lookup tables).
+    pub const COUNT: usize = 8;
+
+    /// Dense index of this class, `0..Self::COUNT` — the timing
+    /// simulator's pre-computed latency/energy tables are indexed by it.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// A decoded EHS-RV instruction.

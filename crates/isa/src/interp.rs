@@ -14,7 +14,8 @@
 //!    exactly sequential execution; outages only change *timing* and
 //!    *energy*.
 
-use crate::{ExecError, Instr, MemWidth, Program, Reg, STACK_TOP};
+use crate::predecode::DecodeCache;
+use crate::{ExecClass, ExecError, Instr, MemWidth, Program, Reg, STACK_TOP};
 
 /// Direction of a data-memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +45,9 @@ pub struct Step {
     pub pc: u32,
     /// The decoded instruction.
     pub instr: Instr,
+    /// The instruction's execution class (pre-resolved, so timing
+    /// callers index their latency/energy tables without re-classifying).
+    pub class: ExecClass,
     /// The data access it performed, if it was a load or store.
     pub access: Option<MemAccess>,
     /// `true` if this instruction halted the program.
@@ -61,6 +65,9 @@ pub struct Interpreter {
     mem: Vec<u8>,
     halted: bool,
     executed: u64,
+    /// Pre-decoded text segment (derived state, never serialized; kept
+    /// coherent on every store/restore that touches covered words).
+    predec: DecodeCache,
 }
 
 /// Default memory size: 16 MB, matching the paper's default NVM capacity.
@@ -92,13 +99,28 @@ impl Interpreter {
         }
         let mut regs = [0u32; 16];
         regs[Reg::Sp.index()] = STACK_TOP.min(mem_bytes as u32 - 16);
+        let predec = DecodeCache::build(&mem, program.text_end());
         Interpreter {
             regs,
             pc: program.entry,
             mem,
             halted: false,
             executed: 0,
+            predec,
         }
+    }
+
+    /// Enables or disables the pre-decoded fast path (enabled by
+    /// default). Disabling forces every fetch through the
+    /// decode-from-memory reference path; the two must be step-for-step
+    /// equivalent, which the verification suite proves.
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        self.predec.set_enabled(on);
+    }
+
+    /// Whether fetches are currently served from the pre-decoded form.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.predec.enabled()
     }
 
     /// Current program counter.
@@ -189,6 +211,7 @@ impl Interpreter {
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         self.mem[a..a + bytes.len()].copy_from_slice(bytes);
+        self.predec.refresh_range(&self.mem, addr, bytes.len());
     }
 
     /// Restores the non-memory architectural state (snapshot resume).
@@ -247,6 +270,9 @@ impl Interpreter {
             MemWidth::Half => self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
             MemWidth::Word => self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes()),
         }
+        // Self-modifying code: the access is aligned and at most one
+        // word wide, so at most one pre-decoded slot can change.
+        self.predec.refresh_word(&self.mem, addr);
         Ok(())
     }
 
@@ -258,6 +284,7 @@ impl Interpreter {
     /// # Errors
     ///
     /// Propagates decode failures and memory faults as [`ExecError`].
+    #[inline]
     pub fn step(&mut self) -> Result<Step, ExecError> {
         use Instr::*;
         let pc = self.pc;
@@ -265,19 +292,41 @@ impl Interpreter {
             return Ok(Step {
                 pc,
                 instr: Halt,
+                class: ExecClass::Halt,
                 access: None,
                 halted: true,
             });
         }
-        if pc as usize + 4 > self.mem.len() || !pc.is_multiple_of(4) {
-            return Err(ExecError::OutOfBounds { pc, addr: pc });
-        }
-        let word = u32::from_le_bytes(
-            self.mem[pc as usize..pc as usize + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        let instr = Instr::decode(word).map_err(|_| ExecError::InvalidInstruction { pc, word })?;
+        // Fast path: a covered, aligned pc resolves from the pre-decoded
+        // form; everything else (out of range, misaligned, cache
+        // disabled) takes the decode-from-memory reference path with
+        // the original fault semantics.
+        let (instr, class) = match self.predec.lookup(pc) {
+            Some(Some(p)) => (p.instr, p.class),
+            Some(None) => {
+                // Covered but undecodable: report the raw word, exactly
+                // as the reference path would.
+                let word = u32::from_le_bytes(
+                    self.mem[pc as usize..pc as usize + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                );
+                return Err(ExecError::InvalidInstruction { pc, word });
+            }
+            None => {
+                if pc as usize + 4 > self.mem.len() || !pc.is_multiple_of(4) {
+                    return Err(ExecError::OutOfBounds { pc, addr: pc });
+                }
+                let word = u32::from_le_bytes(
+                    self.mem[pc as usize..pc as usize + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                );
+                let instr =
+                    Instr::decode(word).map_err(|_| ExecError::InvalidInstruction { pc, word })?;
+                (instr, instr.class())
+            }
+        };
 
         let mut next_pc = pc.wrapping_add(4);
         let mut access = None;
@@ -399,6 +448,7 @@ impl Interpreter {
         Ok(Step {
             pc,
             instr,
+            class,
             access,
             halted: self.halted,
         })

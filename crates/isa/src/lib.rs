@@ -46,6 +46,7 @@ pub mod asm;
 mod error;
 mod instr;
 mod interp;
+mod predecode;
 mod program;
 mod reg;
 

@@ -148,6 +148,7 @@ impl PrefetchBuffer {
     }
 
     /// `true` if the block containing `addr` is buffered or in flight.
+    #[inline]
     pub fn contains(&self, addr: u32) -> bool {
         let block = block_of(addr);
         self.entries.iter().any(|e| e.block == block)

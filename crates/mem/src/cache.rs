@@ -184,6 +184,7 @@ impl Cache {
     /// Returns `true` on hit (updating LRU state and, for writes, the
     /// dirty bit). Returns `false` on miss; the caller is expected to
     /// fetch the block and then [`Cache::fill`] it.
+    #[inline]
     pub fn access(&mut self, addr: u32, is_write: bool) -> bool {
         let block = block_of(addr);
         let tag = self.tag_of(block);
@@ -203,6 +204,7 @@ impl Cache {
     }
 
     /// Checks residency without disturbing LRU state or statistics.
+    #[inline]
     pub fn contains(&self, addr: u32) -> bool {
         let block = block_of(addr);
         let tag = self.tag_of(block);

@@ -1,0 +1,129 @@
+//! Closed-set enum over every concrete prefetcher.
+//!
+//! The simulator's hot loop calls [`Prefetcher::observe`] on every
+//! demand access. Through a `Box<dyn Prefetcher>` that is an indirect
+//! call the compiler cannot inline; [`AnyPrefetcher`] replaces it with
+//! a direct match over the eight concrete kinds, which inlines and
+//! branch-predicts (the kind never changes within a run). The
+//! `dispatch` micro-benchmark in `ehs-bench` measures the difference —
+//! see DESIGN.md §8.
+//!
+//! Behaviour is delegated verbatim, so an `AnyPrefetcher` is
+//! observationally identical to the boxed prefetcher of the same kind.
+
+use crate::{
+    AccessEvent, AmpmPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher,
+    NullPrefetcher, Prefetcher, PrefetcherState, SequentialPrefetcher, StridePrefetcher,
+    TifsPrefetcher,
+};
+
+/// Any of the eight concrete prefetchers, dispatched by direct match
+/// instead of vtable (see the module docs).
+#[derive(Debug, Clone)]
+pub enum AnyPrefetcher {
+    /// The stateless null prefetcher.
+    Null(NullPrefetcher),
+    /// Next-N-line sequential instruction prefetcher.
+    Sequential(SequentialPrefetcher),
+    /// Markov correlation instruction prefetcher.
+    Markov(MarkovPrefetcher),
+    /// Temporal instruction fetch streaming.
+    Tifs(TifsPrefetcher),
+    /// PC-indexed stride data prefetcher.
+    Stride(StridePrefetcher),
+    /// Global-history-buffer (G/DC) data prefetcher.
+    Ghb(GhbPrefetcher),
+    /// Best-offset data prefetcher.
+    BestOffset(BestOffsetPrefetcher),
+    /// Access-map pattern-matching data prefetcher.
+    Ampm(AmpmPrefetcher),
+}
+
+macro_rules! delegate {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyPrefetcher::Null($p) => $body,
+            AnyPrefetcher::Sequential($p) => $body,
+            AnyPrefetcher::Markov($p) => $body,
+            AnyPrefetcher::Tifs($p) => $body,
+            AnyPrefetcher::Stride($p) => $body,
+            AnyPrefetcher::Ghb($p) => $body,
+            AnyPrefetcher::BestOffset($p) => $body,
+            AnyPrefetcher::Ampm($p) => $body,
+        }
+    };
+}
+
+impl Prefetcher for AnyPrefetcher {
+    fn name(&self) -> &'static str {
+        delegate!(self, p => p.name())
+    }
+
+    fn max_degree(&self) -> u32 {
+        delegate!(self, p => p.max_degree())
+    }
+
+    #[inline]
+    fn observe(&mut self, event: &AccessEvent, out: &mut Vec<u32>) {
+        delegate!(self, p => p.observe(event, out))
+    }
+
+    fn power_loss(&mut self) {
+        delegate!(self, p => p.power_loss())
+    }
+
+    fn export_state(&self) -> PrefetcherState {
+        delegate!(self, p => p.export_state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessOutcome;
+
+    /// Both dispatch shapes over the same access stream must do the
+    /// same thing — the enum is a transparent wrapper.
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch() {
+        let kinds: [(AnyPrefetcher, Box<dyn Prefetcher>); 3] = [
+            (
+                AnyPrefetcher::Sequential(SequentialPrefetcher::new(2)),
+                Box::new(SequentialPrefetcher::new(2)),
+            ),
+            (
+                AnyPrefetcher::Stride(StridePrefetcher::new(2)),
+                Box::new(StridePrefetcher::new(2)),
+            ),
+            (
+                AnyPrefetcher::Ghb(GhbPrefetcher::new(2)),
+                Box::new(GhbPrefetcher::new(2)),
+            ),
+        ];
+        for (mut any, mut boxed) in kinds {
+            assert_eq!(any.name(), boxed.name());
+            assert_eq!(any.max_degree(), boxed.max_degree());
+            let (mut a_out, mut b_out) = (Vec::new(), Vec::new());
+            let mut x = 0x1234_5678u32;
+            for i in 0u32..500 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                let addr = (x >> 8) & 0x000f_ffc0;
+                let outcome = if x & 1 == 0 {
+                    AccessOutcome::Miss
+                } else {
+                    AccessOutcome::CacheHit
+                };
+                let ev = AccessEvent::data(i * 4, addr, outcome, x & 2 == 0);
+                a_out.clear();
+                b_out.clear();
+                any.observe(&ev, &mut a_out);
+                boxed.observe(&ev, &mut b_out);
+                assert_eq!(a_out, b_out, "divergence at access {i}");
+            }
+            assert_eq!(
+                serde_json::to_string(&any.export_state()).unwrap(),
+                serde_json::to_string(&boxed.export_state()).unwrap()
+            );
+        }
+    }
+}

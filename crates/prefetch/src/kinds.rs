@@ -4,8 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AmpmPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher, NullPrefetcher,
-    Prefetcher, SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
+    AmpmPrefetcher, AnyPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher,
+    NullPrefetcher, Prefetcher, SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
 };
 
 /// Instruction-prefetcher selection (Table 3).
@@ -47,6 +47,19 @@ impl InstPrefetcherKind {
             InstPrefetcherKind::Sequential => Box::new(SequentialPrefetcher::new(degree)),
             InstPrefetcherKind::Markov => Box::new(MarkovPrefetcher::new(degree)),
             InstPrefetcherKind::Tifs => Box::new(TifsPrefetcher::new(degree)),
+        }
+    }
+
+    /// [`InstPrefetcherKind::build`] as the enum-dispatched
+    /// [`AnyPrefetcher`] the simulator's hot loop uses.
+    pub fn build_any(self, degree: u32) -> AnyPrefetcher {
+        match self {
+            InstPrefetcherKind::None => AnyPrefetcher::Null(NullPrefetcher::new()),
+            InstPrefetcherKind::Sequential => {
+                AnyPrefetcher::Sequential(SequentialPrefetcher::new(degree))
+            }
+            InstPrefetcherKind::Markov => AnyPrefetcher::Markov(MarkovPrefetcher::new(degree)),
+            InstPrefetcherKind::Tifs => AnyPrefetcher::Tifs(TifsPrefetcher::new(degree)),
         }
     }
 }
@@ -94,6 +107,20 @@ impl DataPrefetcherKind {
             DataPrefetcherKind::Ghb => Box::new(GhbPrefetcher::new(degree)),
             DataPrefetcherKind::BestOffset => Box::new(BestOffsetPrefetcher::new(degree)),
             DataPrefetcherKind::Ampm => Box::new(AmpmPrefetcher::new(degree)),
+        }
+    }
+
+    /// [`DataPrefetcherKind::build`] as the enum-dispatched
+    /// [`AnyPrefetcher`] the simulator's hot loop uses.
+    pub fn build_any(self, degree: u32) -> AnyPrefetcher {
+        match self {
+            DataPrefetcherKind::None => AnyPrefetcher::Null(NullPrefetcher::new()),
+            DataPrefetcherKind::Stride => AnyPrefetcher::Stride(StridePrefetcher::new(degree)),
+            DataPrefetcherKind::Ghb => AnyPrefetcher::Ghb(GhbPrefetcher::new(degree)),
+            DataPrefetcherKind::BestOffset => {
+                AnyPrefetcher::BestOffset(BestOffsetPrefetcher::new(degree))
+            }
+            DataPrefetcherKind::Ampm => AnyPrefetcher::Ampm(AmpmPrefetcher::new(degree)),
         }
     }
 }

@@ -24,6 +24,7 @@
 //! SRAM tables being wiped by an outage.
 
 mod ampm;
+mod any;
 mod best_offset;
 mod event;
 mod ghb;
@@ -36,6 +37,7 @@ mod stride;
 mod tifs;
 
 pub use ampm::AmpmPrefetcher;
+pub use any::AnyPrefetcher;
 pub use best_offset::BestOffsetPrefetcher;
 pub use event::{AccessEvent, AccessOutcome};
 pub use ghb::GhbPrefetcher;

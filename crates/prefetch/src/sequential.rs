@@ -68,6 +68,7 @@ impl Prefetcher for SequentialPrefetcher {
         (self.degree * 2).min(MAX_DEGREE).min(3)
     }
 
+    #[inline]
     fn observe(&mut self, event: &AccessEvent, out: &mut Vec<u32>) {
         let block = block_of(event.addr);
         // Trigger once per block entered: sequential streams advance one

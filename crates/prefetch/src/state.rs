@@ -9,8 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AmpmPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher, NullPrefetcher,
-    Prefetcher, SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
+    AmpmPrefetcher, AnyPrefetcher, BestOffsetPrefetcher, GhbPrefetcher, MarkovPrefetcher,
+    NullPrefetcher, Prefetcher, SequentialPrefetcher, StridePrefetcher, TifsPrefetcher,
 };
 
 /// Complete serializable state of any concrete [`Prefetcher`].
@@ -47,6 +47,21 @@ impl PrefetcherState {
             PrefetcherState::Ghb(p) => Box::new(p.clone()),
             PrefetcherState::BestOffset(p) => Box::new(p.clone()),
             PrefetcherState::Ampm(p) => Box::new(p.clone()),
+        }
+    }
+
+    /// [`PrefetcherState::into_prefetcher`] as the enum-dispatched
+    /// [`AnyPrefetcher`] the simulator's hot loop uses.
+    pub fn into_any(&self) -> AnyPrefetcher {
+        match self {
+            PrefetcherState::None => AnyPrefetcher::Null(NullPrefetcher::new()),
+            PrefetcherState::Sequential(p) => AnyPrefetcher::Sequential(p.clone()),
+            PrefetcherState::Markov(p) => AnyPrefetcher::Markov(p.clone()),
+            PrefetcherState::Tifs(p) => AnyPrefetcher::Tifs(p.clone()),
+            PrefetcherState::Stride(p) => AnyPrefetcher::Stride(p.clone()),
+            PrefetcherState::Ghb(p) => AnyPrefetcher::Ghb(p.clone()),
+            PrefetcherState::BestOffset(p) => AnyPrefetcher::BestOffset(p.clone()),
+            PrefetcherState::Ampm(p) => AnyPrefetcher::Ampm(p.clone()),
         }
     }
 

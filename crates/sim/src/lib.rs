@@ -33,6 +33,13 @@ mod trace;
 
 pub use builder::{ConfigError, Ipex, SimConfigBuilder};
 pub use config::{PrefetchMode, SimConfig, CYCLES_PER_TRACE_SAMPLE};
+
+/// Identifies the execution-engine generation for throughput trajectory
+/// records (`BENCH_core.json`). Bump only when the *performance* of the
+/// core loop changes materially; architectural results must stay
+/// bit-identical across engine generations (the records carry a result
+/// digest to prove it).
+pub const ENGINE_ID: &str = "predecode-v1";
 pub use machine::{CycleMark, FaultPlan, Machine, RunStatus, SimError};
 pub use result::{SimResult, SimStats};
 pub use snapshot::{MemRun, Phase, Snapshot, SnapshotError, SNAPSHOT_VERSION};

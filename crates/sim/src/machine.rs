@@ -3,7 +3,7 @@
 use ehs_energy::{mw_to_nj_per_cycle, Capacitor, EnergyBreakdown, PowerTrace};
 use ehs_isa::{ExecClass, ExecError, Interpreter, Program};
 use ehs_mem::{block_of, Cache, InsertOutcome, Nvm, PrefetchBuffer, ReadReason};
-use ehs_prefetch::{AccessEvent, AccessOutcome, Prefetcher};
+use ehs_prefetch::{AccessEvent, AccessOutcome, AnyPrefetcher, Prefetcher};
 use ipex::Throttle;
 
 use serde::{Deserialize, Serialize};
@@ -70,7 +70,10 @@ pub struct FaultPlan {
 struct MemPath {
     cache: Cache,
     buf: PrefetchBuffer,
-    pf: Box<dyn Prefetcher>,
+    /// Enum-dispatched so the per-access `observe` call in the hot loop
+    /// inlines instead of going through a vtable (see `ehs-prefetch`'s
+    /// `any` module and the `dispatch` micro-benchmark).
+    pf: AnyPrefetcher,
     throttle: Throttle,
 }
 
@@ -148,6 +151,33 @@ pub struct Machine {
     /// Where in the power-cycle state machine execution currently is —
     /// persisted by [`Machine::snapshot`] so pauses can land mid-outage.
     phase: Phase,
+    /// Per-[`ExecClass`] execute latency, indexed by
+    /// [`ExecClass::index`] (pre-resolved from `cfg.latencies`).
+    lat_by_class: [u64; ExecClass::COUNT],
+    /// Per-[`ExecClass`] dynamic compute energy, nJ.
+    nj_by_class: [f64; ExecClass::COUNT],
+    /// Safe energy band for batched voltage observation: while the
+    /// capacitor's stored energy stays strictly inside
+    /// `(vwin_lo_nj, vwin_hi_nj)`, no IPEX threshold nor the backup
+    /// trigger can cross, so the per-instruction voltage observation is
+    /// provably a no-op and is skipped. Derived state (never
+    /// snapshotted); an invalid band (`lo > hi`) forces the next
+    /// instruction down the exact legacy observe path, which recomputes
+    /// it. See [`Machine::recompute_voltage_window`].
+    vwin_lo_nj: f64,
+    vwin_hi_nj: f64,
+    /// Verification hook: `true` pins the band invalid so every
+    /// instruction performs the full legacy observation sequence.
+    vwin_forced_off: bool,
+    /// Cached power-trace sample: harvesting proceeds at `hspan_rate`
+    /// nJ/cycle over cycles `[hspan_start, hspan_end)`. Spares the hot
+    /// loop a div+mod per instruction; spans outside the cached sample
+    /// take the exact multi-sample walk (which refreshes the cache).
+    /// Derived state, never snapshotted (`hspan_start == hspan_end`
+    /// marks it empty).
+    hspan_start: u64,
+    hspan_end: u64,
+    hspan_rate: f64,
 }
 
 impl Machine {
@@ -170,13 +200,13 @@ impl Machine {
     /// See [`Machine::new`].
     pub fn with_trace(cfg: SimConfig, program: &Program, trace: PowerTrace) -> Machine {
         let build_path = |mode: &PrefetchMode, is_inst: bool| -> MemPath {
-            let pf: Box<dyn Prefetcher> = match mode {
-                PrefetchMode::Off => Box::new(ehs_prefetch::NullPrefetcher::new()),
+            let pf = match mode {
+                PrefetchMode::Off => AnyPrefetcher::Null(ehs_prefetch::NullPrefetcher::new()),
                 _ => {
                     if is_inst {
-                        cfg.inst_prefetcher.build(cfg.prefetch_degree)
+                        cfg.inst_prefetcher.build_any(cfg.prefetch_degree)
                     } else {
-                        cfg.data_prefetcher.build(cfg.prefetch_degree)
+                        cfg.data_prefetcher.build_any(cfg.prefetch_degree)
                     }
                 }
             };
@@ -203,6 +233,20 @@ impl Machine {
             cfg.energy.core_leak_nj_per_cycle(),
             mw_to_nj_per_cycle(cfg.nvm.leak_mw),
         );
+        // Pre-resolve the per-class latency/energy tables the hot loop
+        // indexes by `ExecClass::index` (Load/Store/Halt execute in 1
+        // cycle; their memory time is modelled by the cache path).
+        let mut lat_by_class = [1u64; ExecClass::COUNT];
+        lat_by_class[ExecClass::Alu.index()] = cfg.latencies[0];
+        lat_by_class[ExecClass::Mul.index()] = cfg.latencies[1];
+        lat_by_class[ExecClass::Div.index()] = cfg.latencies[2];
+        lat_by_class[ExecClass::Branch.index()] = cfg.latencies[3];
+        lat_by_class[ExecClass::Jump.index()] = cfg.latencies[4];
+        let mut nj_by_class = [cfg.energy.compute.alu_nj; ExecClass::COUNT];
+        nj_by_class[ExecClass::Mul.index()] = cfg.energy.compute.mul_nj;
+        nj_by_class[ExecClass::Div.index()] = cfg.energy.compute.div_nj;
+        nj_by_class[ExecClass::Load.index()] = cfg.energy.compute.mem_nj;
+        nj_by_class[ExecClass::Store.index()] = cfg.energy.compute.mem_nj;
         Machine {
             interp,
             ipath,
@@ -220,8 +264,35 @@ impl Machine {
             mark: CycleMark::default(),
             fault: FaultPlan::default(),
             phase: Phase::Run,
+            lat_by_class,
+            nj_by_class,
+            // Invalid band: the first instruction takes the full legacy
+            // observe path, which computes the real band.
+            vwin_lo_nj: f64::INFINITY,
+            vwin_hi_nj: f64::NEG_INFINITY,
+            vwin_forced_off: false,
+            hspan_start: 0,
+            hspan_end: 0,
+            hspan_rate: 0.0,
             cfg,
         }
+    }
+
+    /// Verification/benchmark hook: `true` disables voltage-observation
+    /// batching, reproducing the legacy per-instruction observe
+    /// sequence exactly. Results must be bit-identical either way
+    /// (regression-tested); default `false`.
+    pub fn set_exhaustive_voltage_checks(&mut self, on: bool) {
+        self.vwin_forced_off = on;
+        self.vwin_lo_nj = f64::INFINITY;
+        self.vwin_hi_nj = f64::NEG_INFINITY;
+    }
+
+    /// Verification/benchmark hook: disables (or re-enables) the
+    /// interpreter's pre-decoded fast path; see
+    /// [`ehs_isa::Interpreter::set_decode_cache_enabled`].
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        self.interp.set_decode_cache_enabled(on);
     }
 
     /// Installs a deliberate consistency fault (see [`FaultPlan`]).
@@ -555,7 +626,7 @@ impl Machine {
                     path.pf.name()
                 )));
             }
-            path.pf = state.into_prefetcher();
+            path.pf = state.into_any();
         }
         for (state, path, which) in [
             (&snap.ithrottle, &mut m.ipath, "instruction"),
@@ -619,37 +690,35 @@ impl Machine {
     fn step_instruction(&mut self) -> Result<(), SimError> {
         // Voltage monitor: IPEX threshold crossings (possibly reissuing
         // throttled prefetches, §5.1 extension) and the backup trigger.
-        let v = self.cap.voltage();
-        self.observe_voltage(true, v);
-        self.observe_voltage(false, v);
-        if self.cap.needs_backup() {
-            // Enter the outage phases; the main loop drives them so a
-            // pause (snapshot) can land mid-backup or mid-recharge.
-            self.begin_outage();
-            return Ok(());
+        // Batched over the safe energy band: strictly inside
+        // `(vwin_lo_nj, vwin_hi_nj)` the observation sequence below is
+        // provably a no-op (every threshold comparison lands in the same
+        // band it did when the band was computed), so it is skipped.
+        // The comparison is written so an invalid band (lo > hi, the
+        // NaN-free "recompute me" state) always takes the slow path.
+        let e = self.cap.energy_nj();
+        if !(e > self.vwin_lo_nj && e < self.vwin_hi_nj) {
+            let v = self.cap.voltage();
+            self.observe_voltage(true, v);
+            self.observe_voltage(false, v);
+            if self.cap.needs_backup() {
+                // Enter the outage phases; the main loop drives them so
+                // a pause (snapshot) can land mid-backup or mid-recharge.
+                self.begin_outage();
+                return Ok(());
+            }
+            self.recompute_voltage_window();
         }
 
         // Instruction fetch through the ICache.
         let pc = self.interp.pc();
-        let fetch_cycles = self.mem_access(true, pc, pc, false);
+        let fetch_cycles = self.mem_access::<true>(pc, pc, false);
 
-        // Execute (functional).
+        // Execute (functional; the pre-decoded step carries its class).
         let step = self.interp.step()?;
-        let exec_cycles = match step.instr.class() {
-            ExecClass::Alu => self.cfg.latencies[0],
-            ExecClass::Mul => self.cfg.latencies[1],
-            ExecClass::Div => self.cfg.latencies[2],
-            ExecClass::Branch => self.cfg.latencies[3],
-            ExecClass::Jump => self.cfg.latencies[4],
-            ExecClass::Load | ExecClass::Store => 1,
-            ExecClass::Halt => 1,
-        };
-        let compute_nj = match step.instr.class() {
-            ExecClass::Mul => self.cfg.energy.compute.mul_nj,
-            ExecClass::Div => self.cfg.energy.compute.div_nj,
-            ExecClass::Load | ExecClass::Store => self.cfg.energy.compute.mem_nj,
-            _ => self.cfg.energy.compute.alu_nj,
-        };
+        let class = step.class.index();
+        let exec_cycles = self.lat_by_class[class];
+        let compute_nj = self.nj_by_class[class];
         self.energy.compute_nj += compute_nj;
         self.pending_draw_nj += compute_nj;
 
@@ -657,7 +726,7 @@ impl Machine {
         let mem_cycles = match step.access {
             Some(acc) => {
                 let is_write = acc.kind == ehs_isa::AccessKind::Write;
-                self.mem_access(false, step.pc, acc.addr, is_write)
+                self.mem_access::<false>(step.pc, acc.addr, is_write)
             }
             None => 0,
         };
@@ -734,9 +803,57 @@ impl Machine {
         }
     }
 
+    /// Recomputes the safe energy band for batched voltage observation.
+    ///
+    /// Called only immediately after a real observation pass, so each
+    /// controller's level agrees with the current voltage. The band's
+    /// edges are the capacitor energies of every voltage the step
+    /// sequence compares against — the backup trigger plus both
+    /// throttles' threshold ladders — split into those below and above
+    /// the current energy. While the stored energy stays strictly
+    /// inside the band, every `voltage <= threshold` comparison and the
+    /// `needs_backup` check resolve exactly as they did when the band
+    /// was computed (energy and voltage are monotonically related by
+    /// `E = ½CV²`), so `observe_voltage` cannot change state and no
+    /// outage can begin: skipping the sequence is bit-identical.
+    ///
+    /// The relative `MARGIN` shrinks the band by ~1e-9 on each side,
+    /// dominating the ~1e-15 relative rounding of the E↔V conversions
+    /// (one sqrt + two multiplies); energies inside the margin zone
+    /// conservatively take the exact legacy path.
+    fn recompute_voltage_window(&mut self) {
+        if self.vwin_forced_off {
+            return;
+        }
+        const MARGIN: f64 = 1e-9;
+        let cap_cfg = self.cap.config();
+        let e = self.cap.energy_nj();
+        let mut lo = 0.0f64;
+        let mut hi = f64::INFINITY;
+        let mut consider = |threshold_v: f64| {
+            let et = cap_cfg.energy_at_nj(threshold_v);
+            if e > et {
+                lo = lo.max(et);
+            } else {
+                hi = hi.min(et);
+            }
+        };
+        consider(cap_cfg.v_backup);
+        for &t in self.ipath.throttle.thresholds() {
+            consider(t);
+        }
+        for &t in self.dpath.throttle.thresholds() {
+            consider(t);
+        }
+        self.vwin_lo_nj = lo * (1.0 + MARGIN);
+        self.vwin_hi_nj = hi * (1.0 - MARGIN);
+    }
+
     /// One demand access through a cache path; returns its total cycles
-    /// (1-cycle hit plus any stall).
-    fn mem_access(&mut self, inst: bool, pc: u32, addr: u32, is_write: bool) -> u64 {
+    /// (1-cycle hit plus any stall). Monomorphized per path (`INST` is a
+    /// const) so the fetch fast path specializes away the data-side
+    /// branches.
+    fn mem_access<const INST: bool>(&mut self, pc: u32, addr: u32, is_write: bool) -> u64 {
         let now = self.cycle;
         // Split borrows: the chosen path, NVM, energy, stats and the
         // candidate buffer are all disjoint fields.
@@ -752,7 +869,7 @@ impl Machine {
             tracer,
             ..
         } = self;
-        let (path, pid) = if inst {
+        let (path, pid) = if INST {
             (ipath, PathId::Inst)
         } else {
             (dpath, PathId::Data)
@@ -803,7 +920,7 @@ impl Machine {
         } else {
             // Demand miss to NVM.
             let done = nvm.read(now, ReadReason::Demand);
-            if inst {
+            if INST {
                 stats.i_demand_reads += 1;
             } else {
                 stats.d_demand_reads += 1;
@@ -832,7 +949,7 @@ impl Machine {
 
         // Prefetcher observation, IPEX filtering, and issue in priority
         // order.
-        let event = if inst {
+        let event = if INST {
             AccessEvent::fetch(addr, outcome)
         } else {
             AccessEvent::data(pc, addr, outcome, is_write)
@@ -864,7 +981,7 @@ impl Machine {
         }
 
         let stall = latency - 1;
-        if inst {
+        if INST {
             stats.istall_cycles += stall;
         } else {
             stats.dstall_cycles += stall;
@@ -890,16 +1007,28 @@ impl Machine {
     }
 
     /// Harvested energy (nJ) over `[start, start + n)` cycles.
-    fn harvest_span(&self, start: u64, n: u64) -> f64 {
+    fn harvest_span(&mut self, start: u64, n: u64) -> f64 {
+        let end = start + n;
+        // Fast path: the whole span lies inside the cached trace sample,
+        // so the sum below collapses to one multiply with the identical
+        // rate (`0.0 + r*n == r*n` bit-exactly for the nonnegative rates
+        // a power trace yields).
+        if start >= self.hspan_start && end <= self.hspan_end {
+            return self.hspan_rate * n as f64;
+        }
         let mut total = 0.0;
         let mut c = start;
-        let end = start + n;
         while c < end {
             let idx = c / CYCLES_PER_TRACE_SAMPLE;
             let boundary = (idx + 1) * CYCLES_PER_TRACE_SAMPLE;
             let take = end.min(boundary) - c;
-            total += self.trace.harvest_nj_per_cycle(idx) * take as f64;
+            let rate = self.trace.harvest_nj_per_cycle(idx);
+            total += rate * take as f64;
             c = end.min(boundary);
+            // Cache the last sample touched: the next span starts here.
+            self.hspan_start = boundary - CYCLES_PER_TRACE_SAMPLE;
+            self.hspan_end = boundary;
+            self.hspan_rate = rate;
         }
         total
     }
@@ -1002,6 +1131,11 @@ impl Machine {
         self.nvm.power_cycle_reset(self.cycle);
         self.ipath.throttle.on_reboot();
         self.dpath.throttle.on_reboot();
+        // The threshold ladders may have adapted and the controllers'
+        // levels were reset: invalidate the band so the first
+        // instruction of the new power cycle observes for real.
+        self.vwin_lo_nj = f64::INFINITY;
+        self.vwin_hi_nj = f64::NEG_INFINITY;
         self.stats.total_cycles = self.cycle;
         // Roll up the power cycle that just ended (its off-time — backup,
         // recharge, restore — is attributed to it), then begin the next.
@@ -1451,6 +1585,50 @@ mod tests {
             whole_counts.cache_fill > 0,
             "counting mode must tally events"
         );
+    }
+
+    /// Runs the tiny program under weak power (frequent outages, so
+    /// plenty of threshold crossings) with IPEX and event counting on,
+    /// after applying `tweak` to the fresh machine.
+    fn weak_power_counted(tweak: impl FnOnce(&mut Machine)) -> (SimResult, EventCounts) {
+        let cfg = SimConfig::builder()
+            .ipex(Ipex::Both)
+            .trace_mode(crate::TraceMode::Counting)
+            .build();
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        let mut m = Machine::with_trace(cfg, &tiny_program(), trace);
+        tweak(&mut m);
+        let r = m.run().unwrap();
+        (r, *m.trace_counts())
+    }
+
+    /// The batched voltage window is an observation *schedule*, not a
+    /// model change: forcing the exhaustive per-instruction check must
+    /// reproduce the batched run bit-for-bit, including the number of
+    /// `ThresholdCross` events — a window that skipped past a crossing
+    /// would show up here as a lost event.
+    #[test]
+    fn exhaustive_voltage_checks_match_batched_including_threshold_crossings() {
+        let (batched, batched_counts) = weak_power_counted(|_| {});
+        let (exact, exact_counts) = weak_power_counted(|m| m.set_exhaustive_voltage_checks(true));
+        assert_eq!(batched, exact);
+        assert_eq!(batched_counts, exact_counts);
+        assert!(
+            batched_counts.threshold_cross > 0,
+            "weak power must cross thresholds or the test proves nothing"
+        );
+        assert!(batched.stats.power_cycles > 1, "expected outages");
+    }
+
+    /// The decode cache is a pure execution-engine optimisation; with
+    /// it disabled the machine must still produce the same results and
+    /// the same event stream.
+    #[test]
+    fn decode_cache_off_matches_batched_run_exactly() {
+        let (fast, fast_counts) = weak_power_counted(|_| {});
+        let (slow, slow_counts) = weak_power_counted(|m| m.set_decode_cache_enabled(false));
+        assert_eq!(fast, slow);
+        assert_eq!(fast_counts, slow_counts);
     }
 
     #[test]

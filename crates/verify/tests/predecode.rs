@@ -1,0 +1,170 @@
+//! Differential tests for the pre-decoded execution engine.
+//!
+//! The engine pre-decodes the text segment once at construction and
+//! executes from the decoded form; these tests pin down the two
+//! properties that make that purely an optimisation:
+//!
+//! 1. **Step-for-step equivalence.** With the decode cache on or off,
+//!    the interpreter visits the same program counters, produces the
+//!    same [`Step`](ehs_isa::Step) records, mutates the registers
+//!    identically, and halts (or faults) at the same instruction — for
+//!    every workload in the suite, at property-test-chosen step bounds.
+//! 2. **No snapshot leakage.** Pre-decoded instructions, the batched
+//!    voltage window and every other derived acceleration structure
+//!    stay out of [`Snapshot`]: a machine run with all fast paths
+//!    disabled serialises byte-for-byte identically to the default
+//!    engine at the same cycle.
+
+use ehs_energy::PowerTrace;
+use ehs_isa::{Interpreter, Program};
+use ehs_sim::{Machine, RunStatus, SimConfig};
+use ehs_verify::oracle::ArchState;
+use ehs_verify::Divergence;
+use ehs_workloads::SUITE;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Every suite program, assembled once (assembly dominates the cost of
+/// a short differential run).
+fn programs() -> &'static Vec<(&'static str, Program)> {
+    static PROGRAMS: OnceLock<Vec<(&'static str, Program)>> = OnceLock::new();
+    PROGRAMS.get_or_init(|| SUITE.iter().map(|w| (w.name(), w.program())).collect())
+}
+
+/// Locksteps a decode-cache-on interpreter against a decode-cache-off
+/// one for up to `bound` steps, comparing the full architectural
+/// trajectory, and returns how many steps actually executed.
+fn lockstep(name: &str, program: &Program, bound: u64) -> u64 {
+    let mut fast = Interpreter::new(program);
+    let mut slow = Interpreter::new(program);
+    slow.set_decode_cache_enabled(false);
+    assert!(fast.decode_cache_enabled() && !slow.decode_cache_enabled());
+
+    let mut steps = 0;
+    while steps < bound && !fast.halted() {
+        let a = fast.step();
+        let b = slow.step();
+        assert_eq!(
+            a, b,
+            "{name}: step {steps} diverged between decode-cache on/off"
+        );
+        assert_eq!(
+            fast.pc(),
+            slow.pc(),
+            "{name}: pc diverged after step {steps}"
+        );
+        assert_eq!(
+            fast.registers(),
+            slow.registers(),
+            "{name}: registers diverged after step {steps}"
+        );
+        if a.is_err() {
+            break;
+        }
+        steps += 1;
+    }
+
+    // Final-state comparison through the oracle's own lens, memory
+    // digest included (per-step checks above never hash memory).
+    let fa = ArchState::of_interpreter(&fast);
+    let fb = ArchState::of_interpreter(&slow);
+    if let Some(d) = Divergence::between(&fa, &fb) {
+        panic!("{name}: final state diverged after {steps} steps: {d}");
+    }
+    steps
+}
+
+proptest! {
+    /// The pre-decoded engine is step-for-step equivalent to the
+    /// decode-every-time interpreter on every workload in the suite.
+    #[test]
+    fn predecode_lockstep_equivalence(
+        which in 0usize..20,
+        bound in 1_000u64..40_000,
+    ) {
+        let (name, program) = &programs()[which];
+        lockstep(name, program, bound);
+    }
+}
+
+/// Workloads that store into (or near) their own text segment exercise
+/// the decode-cache coherence path; the lockstep harness must agree
+/// there too, all the way to the halt of a small self-contained run.
+#[test]
+fn predecode_lockstep_covers_full_suite_prefix() {
+    for (name, program) in programs() {
+        let steps = lockstep(name, program, 5_000);
+        assert!(steps > 0, "{name}: program executed no instructions");
+    }
+}
+
+/// Builds the default machine for `program` under a weak supply that
+/// forces outages (reboots invalidate and rebuild derived state, the
+/// strongest leakage opportunity).
+fn machine(program: &Program) -> Machine {
+    let trace = PowerTrace::constant_mw(2.0, 16);
+    Machine::with_trace(SimConfig::default(), program, trace)
+}
+
+/// A machine with every execution-engine fast path disabled must
+/// snapshot byte-identically to the default machine: the decode cache,
+/// the voltage window and the harvest-span cache are derived state and
+/// must never reach the serialised form (or its digest).
+#[test]
+fn snapshot_has_no_predecode_leakage() {
+    for (name, program) in programs() {
+        let mut fast = machine(program);
+        let mut slow = machine(program);
+        slow.set_decode_cache_enabled(false);
+        slow.set_exhaustive_voltage_checks(true);
+
+        let status_fast = fast.run_until(50_000).expect("fast run");
+        let status_slow = slow.run_until(50_000).expect("slow run");
+        assert_eq!(
+            matches!(status_fast, RunStatus::Paused),
+            matches!(status_slow, RunStatus::Paused),
+            "{name}: engines paused/completed differently"
+        );
+
+        let snap_fast = fast.snapshot(program);
+        let snap_slow = slow.snapshot(program);
+        assert_eq!(
+            snap_fast.digest(),
+            snap_slow.digest(),
+            "{name}: snapshot digest differs between engine modes"
+        );
+        assert_eq!(
+            snap_fast.to_json(),
+            snap_slow.to_json(),
+            "{name}: snapshot JSON differs between engine modes"
+        );
+    }
+}
+
+/// Resuming a default-engine snapshot into a fast-paths-disabled
+/// machine (and vice versa) converges to the same final state: the
+/// snapshot carries everything, the engine mode carries nothing.
+#[test]
+fn snapshot_resume_crosses_engine_modes() {
+    let (name, program) = &programs()[0];
+    let mut fast = machine(program);
+    let _ = fast.run_until(50_000).expect("fast leg");
+    let snap = fast.snapshot(program);
+
+    let trace = PowerTrace::constant_mw(2.0, 16);
+    let mut resumed_slow =
+        Machine::resume(&snap, program, trace.clone()).expect("resume into slow engine");
+    resumed_slow.set_decode_cache_enabled(false);
+    resumed_slow.set_exhaustive_voltage_checks(true);
+    let r_slow = resumed_slow.run().expect("slow continuation");
+
+    let mut resumed_fast = Machine::resume(&snap, program, trace).expect("resume into fast engine");
+    let r_fast = resumed_fast.run().expect("fast continuation");
+
+    assert_eq!(r_fast, r_slow, "{name}: continuations diverged");
+    assert_eq!(
+        ArchState::of_machine(&resumed_fast),
+        ArchState::of_machine(&resumed_slow),
+        "{name}: final architectural state diverged"
+    );
+}
