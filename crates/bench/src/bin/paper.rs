@@ -9,6 +9,11 @@
 //!                            var if set, else available parallelism)
 //!   --checkpoint-every N     crash-checkpoint in-flight simulations every N
 //!                            simulated cycles (default 250000000; 0 disables)
+//!   --stats                  Monte Carlo mode: seed-sweep every headline of
+//!                            the selected figures and report 95% CIs into
+//!                            results/stats/ instead of rendering the figures
+//!   --seeds N                seeds per headline in --stats mode (default 16)
+//!   --seed-base N            first seed in --stats mode (default 1000)
 //!   --list                   print the registry and exit
 //! ```
 //!
@@ -25,6 +30,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use ehs_bench::figures::{RenderCx, REGISTRY};
+use ehs_bench::monte::{self, SeedPlan};
 use ehs_bench::sweep::{CheckpointPolicy, Sweep, SweepOptions};
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +54,32 @@ struct BenchRecord {
     /// from before cycle accounting existed, where the true count is
     /// unknowable — distinct from a genuine 0 (an all-cache-hit run).
     cycles_simulated: Option<u64>,
+    /// Seeds per headline of a `--stats` run; `None` for a plain
+    /// figure-rendering run (and for records predating the mode).
+    stats_seeds: Option<u64>,
+    /// First seed of a `--stats` run; `None` like `stats_seeds`.
+    stats_seed_base: Option<u64>,
+}
+
+/// The record shape between cycle accounting and the `--stats` Monte
+/// Carlo mode. The stats fields migrate to `None` — those runs were
+/// plain renders.
+#[derive(Deserialize)]
+struct BenchRecordV1 {
+    unix_ms: u64,
+    wall_ms: u64,
+    jobs: u64,
+    cache_enabled: bool,
+    figures: u64,
+    requested: u64,
+    unique_points: u64,
+    simulated: u64,
+    disk_hits: u64,
+    memo_hits: u64,
+    in_flight_waits: u64,
+    checkpoint_every_cycles: u64,
+    resumed: u64,
+    cycles_simulated: Option<u64>,
 }
 
 /// The record shape before the checkpoint counters existed. Old entries
@@ -70,12 +102,31 @@ struct BenchRecordV0 {
     in_flight_waits: u64,
 }
 
-/// Decodes one bench-log entry, trying the current shape first and the
-/// pre-checkpoint shape second; unrecognizable entries are dropped (the
-/// log is advisory).
+/// Decodes one bench-log entry, trying shapes newest-first;
+/// unrecognizable entries are dropped (the log is advisory).
 fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
     if let Ok(r) = BenchRecord::from_content(c) {
         return Some(fixup_unknown_cycles(r));
+    }
+    if let Ok(v1) = BenchRecordV1::from_content(c) {
+        return Some(fixup_unknown_cycles(BenchRecord {
+            unix_ms: v1.unix_ms,
+            wall_ms: v1.wall_ms,
+            jobs: v1.jobs,
+            cache_enabled: v1.cache_enabled,
+            figures: v1.figures,
+            requested: v1.requested,
+            unique_points: v1.unique_points,
+            simulated: v1.simulated,
+            disk_hits: v1.disk_hits,
+            memo_hits: v1.memo_hits,
+            in_flight_waits: v1.in_flight_waits,
+            checkpoint_every_cycles: v1.checkpoint_every_cycles,
+            resumed: v1.resumed,
+            cycles_simulated: v1.cycles_simulated,
+            stats_seeds: None,
+            stats_seed_base: None,
+        }));
     }
     let old = BenchRecordV0::from_content(c).ok()?;
     Some(fixup_unknown_cycles(BenchRecord {
@@ -93,6 +144,8 @@ fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
         checkpoint_every_cycles: 0,
         resumed: 0,
         cycles_simulated: Some(0),
+        stats_seeds: None,
+        stats_seed_base: None,
     }))
 }
 
@@ -112,7 +165,7 @@ fn fixup_unknown_cycles(mut r: BenchRecord) -> BenchRecord {
 fn usage() -> ! {
     eprintln!(
         "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] \
-         [--checkpoint-every N] [--list]\n\
+         [--checkpoint-every N] [--stats] [--seeds N] [--seed-base N] [--list]\n\
          ids are short (fig10, tab2) or file ids (fig10_speedup_baseline)"
     );
     std::process::exit(2);
@@ -125,6 +178,9 @@ fn main() {
     // Interrupted runs resume from these periodic machine snapshots;
     // 250M cycles keeps the worst-case repaid work to a few seconds.
     let mut checkpoint_every: u64 = 250_000_000;
+    let mut stats_mode = false;
+    let mut seeds: u64 = 16;
+    let mut seed_base: u64 = monte::DEFAULT_SEED_BASE;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -144,6 +200,15 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--stats" => stats_mode = true,
+            "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => seeds = n,
+                _ => usage(),
+            },
+            "--seed-base" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed_base = n,
+                None => usage(),
+            },
             "--list" => {
                 for f in REGISTRY {
                     println!("{:10} {:28} {}", f.id(), f.file_id(), f.title());
@@ -180,13 +245,23 @@ fn main() {
     });
 
     let t0 = Instant::now();
-    let points: Vec<_> = figures.iter().flat_map(|f| f.points()).collect();
+    let plan = SeedPlan::new(seeds, seed_base);
+    let points: Vec<_> = if stats_mode {
+        monte::stats_points(&figures, &plan)
+    } else {
+        figures.iter().flat_map(|f| f.points()).collect()
+    };
     let unique: HashSet<_> = points.iter().map(|p| p.key()).collect();
     println!(
-        "[paper] {} figure(s); {} point(s), {} unique",
+        "[paper] {} figure(s); {} point(s), {} unique{}",
         figures.len(),
         points.len(),
-        unique.len()
+        unique.len(),
+        if stats_mode {
+            format!(" (stats mode: {seeds} seed(s) from {seed_base})")
+        } else {
+            String::new()
+        }
     );
 
     // Simulation phase: the union of every figure's needs, exactly once
@@ -196,10 +271,18 @@ fn main() {
     let _ = sweep.request(points).wait();
 
     // Render phase: all memo hits.
-    let cx = RenderCx::new(&sweep);
-    for f in &figures {
-        println!();
-        f.render(&cx);
+    if stats_mode {
+        for fs in monte::evaluate(&figures, &sweep, &plan) {
+            println!();
+            monte::print_stats(&fs);
+            monte::write_stats(results_dir, &fs);
+        }
+    } else {
+        let cx = RenderCx::new(&sweep);
+        for f in &figures {
+            println!();
+            f.render(&cx);
+        }
     }
 
     let wall_ms = t0.elapsed().as_millis() as u64;
@@ -249,6 +332,8 @@ fn main() {
         checkpoint_every_cycles: checkpoint_every,
         resumed: stats.resumed,
         cycles_simulated: Some(stats.cycles_simulated),
+        stats_seeds: stats_mode.then_some(seeds),
+        stats_seed_base: stats_mode.then_some(seed_base),
     };
     append_bench_record("BENCH_sweep.json", record);
 }

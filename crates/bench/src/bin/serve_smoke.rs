@@ -1,0 +1,93 @@
+//! `serve_smoke` — the CI client driver for the sweep service.
+//!
+//! ```text
+//! serve_smoke [--socket PATH] [--seeds N] [--seed-base N]
+//! ```
+//!
+//! Connects (with retry, so it can be started alongside the daemon) to
+//! a running `ehs-serve`, drives one seed-swept Monte Carlo batch
+//! through the socket, asserts the streamed completion and exactly-once
+//! accounting, and asks the daemon to shut down. Exits non-zero on any
+//! protocol or accounting failure.
+
+#[cfg(unix)]
+fn main() {
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use ehs_bench::service::Client;
+    use ehs_energy::{TraceKind, TraceSpec};
+    use ehs_sim::prelude::*;
+
+    fn usage() -> ! {
+        eprintln!("usage: serve_smoke [--socket PATH] [--seeds N] [--seed-base N]");
+        std::process::exit(2);
+    }
+
+    let mut socket = PathBuf::from("results/ehs-serve.sock");
+    let mut seeds: u64 = 16;
+    let mut seed_base: u64 = 1000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => seeds = n,
+                _ => usage(),
+            },
+            "--seed-base" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed_base = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let mut client = Client::connect_retry(&socket, Duration::from_secs(30)).unwrap_or_else(|e| {
+        eprintln!("serve_smoke: cannot reach {}: {e}", socket.display());
+        std::process::exit(1);
+    });
+    client.ping().expect("ping");
+
+    let trace = TraceSpec::Synthetic {
+        kind: TraceKind::RfHome,
+        seed: 0,
+        samples: 4_000,
+    };
+    let reply = client
+        .seed_sweep(
+            "gsmd",
+            SimConfig::builder().build(),
+            trace,
+            seed_base,
+            seeds,
+        )
+        .expect("seed sweep");
+    assert_eq!(
+        reply.outcomes.len() as u64,
+        seeds,
+        "every point must stream back"
+    );
+    let results = reply.results();
+    println!(
+        "[serve_smoke] {} seed(s) resolved; total_cycles of first/last: {} / {}",
+        seeds,
+        results.first().map_or(0, |r| r.stats.total_cycles),
+        results.last().map_or(0, |r| r.stats.total_cycles),
+    );
+
+    // Exactly-once: a fresh cacheless daemon must have simulated each
+    // unique seed once, no more.
+    let stats = client.server_stats().expect("stats");
+    assert_eq!(stats.simulated, seeds, "exactly-once violated: {stats:?}");
+    assert_eq!(stats.requested, seeds, "{stats:?}");
+
+    client.shutdown().expect("shutdown");
+    println!("[serve_smoke] ok: exactly-once held, shutdown acknowledged");
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve_smoke requires a Unix-domain-socket platform");
+    std::process::exit(1);
+}

@@ -3,7 +3,7 @@
 
 use serde::Serialize;
 
-use super::{nopf_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{nopf_cfg, rfhome, suite_points, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, pct};
 
@@ -24,6 +24,33 @@ impl Figure for Fig02 {
 
     fn points(&self) -> Vec<SimPoint> {
         suite_points(&nopf_cfg(), &rfhome())
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        vec![
+            Headline {
+                label: "mean_istall_fraction".into(),
+                base_trace: rfhome(),
+                configs: vec![nopf_cfg()],
+                eval: |s| {
+                    s[0].values()
+                        .map(|r| r.stats.istall_fraction())
+                        .sum::<f64>()
+                        / s[0].len() as f64
+                },
+            },
+            Headline {
+                label: "mean_dstall_fraction".into(),
+                base_trace: rfhome(),
+                configs: vec![nopf_cfg()],
+                eval: |s| {
+                    s[0].values()
+                        .map(|r| r.stats.dstall_fraction())
+                        .sum::<f64>()
+                        / s[0].len() as f64
+                },
+            },
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

@@ -5,7 +5,7 @@
 use serde::Serialize;
 
 use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, nopf_cfg, rfhome, suite_points};
-use super::{Figure, RenderCx};
+use super::{speedup_headline, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, speedups};
 
@@ -38,6 +38,14 @@ impl Figure for Fig10 {
             .iter()
             .flat_map(|c| suite_points(c, &trace))
             .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        vec![
+            speedup_headline("no_prefetch_gmean", rfhome(), base_cfg(), nopf_cfg()),
+            speedup_headline("ipex_data_gmean", rfhome(), base_cfg(), ipex_data_cfg()),
+            speedup_headline("ipex_both_gmean", rfhome(), base_cfg(), ipex_both_cfg()),
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

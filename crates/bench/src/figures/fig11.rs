@@ -3,7 +3,7 @@
 
 use super::fig10::Row;
 use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, nopf_cfg, rfhome, suite_points};
-use super::{Figure, RenderCx};
+use super::{speedup_headline, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, speedups};
 
@@ -37,6 +37,15 @@ impl Figure for Fig11 {
             .iter()
             .flat_map(|c| suite_points(c, &trace))
             .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        let [base_c, nopf_c, ipex_d_c, ipex_c] = configs();
+        vec![
+            speedup_headline("no_prefetch_gmean", rfhome(), base_c.clone(), nopf_c),
+            speedup_headline("ipex_data_gmean", rfhome(), base_c.clone(), ipex_d_c),
+            speedup_headline("ipex_both_gmean", rfhome(), base_c, ipex_c),
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

@@ -3,7 +3,7 @@
 
 use serde::Serialize;
 
-use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, pct};
 
@@ -27,6 +27,37 @@ impl Figure for Fig13 {
         let mut pts = suite_points(&base_cfg(), &trace);
         pts.extend(suite_points(&ipex_both_cfg(), &trace));
         pts
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        vec![
+            Headline {
+                label: "mean_traffic_reduction".into(),
+                base_trace: rfhome(),
+                configs: vec![base_cfg(), ipex_both_cfg()],
+                eval: |s| {
+                    let mut sum = 0.0;
+                    for w in &ehs_workloads::SUITE {
+                        let b = s[0][w.name()].nvm.total_traffic().max(1);
+                        let i = s[1][w.name()].nvm.total_traffic();
+                        sum += 1.0 - i as f64 / b as f64;
+                    }
+                    sum / ehs_workloads::SUITE.len() as f64
+                },
+            },
+            Headline {
+                label: "mean_normalized_energy".into(),
+                base_trace: rfhome(),
+                configs: vec![base_cfg(), ipex_both_cfg()],
+                eval: |s| {
+                    let mut sum = 0.0;
+                    for w in &ehs_workloads::SUITE {
+                        sum += s[1][w.name()].total_energy_nj() / s[0][w.name()].total_energy_nj();
+                    }
+                    sum / ehs_workloads::SUITE.len() as f64
+                },
+            },
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

@@ -4,7 +4,8 @@
 use ehs_energy::EnergyBreakdown;
 use serde::Serialize;
 
-use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::RenderCx;
+use super::{base_cfg, ipex_both_cfg, ipex_data_cfg, rfhome, suite_points, Figure, Headline};
 use crate::banner;
 use crate::sweep::SimPoint;
 
@@ -58,6 +59,23 @@ impl Figure for Fig14 {
             .iter()
             .flat_map(|c| suite_points(c, &trace))
             .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        vec![Headline {
+            label: "ipex_both_mean_normalized_energy".into(),
+            base_trace: rfhome(),
+            configs: vec![base_cfg(), ipex_both_cfg()],
+            eval: |s| {
+                let mut sum = 0.0;
+                for w in &ehs_workloads::SUITE {
+                    let b = &s[0][w.name()].energy;
+                    let i = &s[1][w.name()].energy;
+                    sum += i.normalized_to(b).total_nj();
+                }
+                sum / ehs_workloads::SUITE.len() as f64
+            },
+        }]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

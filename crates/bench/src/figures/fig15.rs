@@ -3,7 +3,7 @@
 
 use serde::Serialize;
 
-use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, pct};
 
@@ -27,6 +27,37 @@ impl Figure for Fig15 {
         let mut pts = suite_points(&base_cfg(), &trace);
         pts.extend(suite_points(&ipex_both_cfg(), &trace));
         pts
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        vec![
+            Headline {
+                label: "mean_imiss_delta".into(),
+                base_trace: rfhome(),
+                configs: vec![base_cfg(), ipex_both_cfg()],
+                eval: |s| {
+                    let mut sum = 0.0;
+                    for w in &ehs_workloads::SUITE {
+                        sum +=
+                            s[1][w.name()].icache.miss_rate() - s[0][w.name()].icache.miss_rate();
+                    }
+                    sum / ehs_workloads::SUITE.len() as f64
+                },
+            },
+            Headline {
+                label: "mean_dmiss_delta".into(),
+                base_trace: rfhome(),
+                configs: vec![base_cfg(), ipex_both_cfg()],
+                eval: |s| {
+                    let mut sum = 0.0;
+                    for w in &ehs_workloads::SUITE {
+                        sum +=
+                            s[1][w.name()].dcache.miss_rate() - s[0][w.name()].dcache.miss_rate();
+                    }
+                    sum / ehs_workloads::SUITE.len() as f64
+                },
+            },
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

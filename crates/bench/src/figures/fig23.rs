@@ -2,7 +2,7 @@
 
 use ehs_energy::{TraceKind, TraceSpec};
 
-use super::{base_cfg, ipex_both_cfg, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, speedup_headline, suite_points, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, speedups, SweepRow};
 
@@ -29,6 +29,22 @@ impl Figure for Fig23 {
                 let mut pts = suite_points(&base_cfg(), &trace);
                 pts.extend(suite_points(&ipex_both_cfg(), &trace));
                 pts
+            })
+            .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        // One headline per energy environment, each seed-swept within
+        // its own kind (the cross-kind comparison is the figure).
+        TraceKind::ALL
+            .into_iter()
+            .map(|kind| {
+                speedup_headline(
+                    format!("{}_ipex_gmean", kind.name()),
+                    TraceSpec::standard(kind),
+                    base_cfg(),
+                    ipex_both_cfg(),
+                )
             })
             .collect()
     }

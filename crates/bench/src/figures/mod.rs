@@ -57,6 +57,71 @@ pub trait Figure: Sync {
     /// Prints the figure's rows and writes its results file, resolving
     /// all simulation through `cx` (so shared points are hits).
     fn render(&self, cx: &RenderCx<'_>);
+
+    /// The figure's headline scalars, re-evaluable under any trace
+    /// environment — what `paper --stats` seed-sweeps into
+    /// distributions with confidence intervals (see [`crate::monte`]).
+    /// Empty (the default) for analytic figures and those whose
+    /// headline is not a scalar.
+    fn headlines(&self) -> Vec<Headline> {
+        Vec::new()
+    }
+}
+
+/// One headline scalar of a figure (a gmean-speedup bar, a mean
+/// reduction, …), declared so the Monte Carlo layer can re-evaluate it
+/// under arbitrary trace seeds.
+///
+/// Every headline in the registry has the same shape: run the full
+/// 20-workload suite under each configuration in `configs` with one
+/// trace environment, then reduce those suites to a single number.
+/// `base_trace` is the environment the *published* figure uses (the
+/// single-seed value); [`crate::monte`] replaces its seed via
+/// [`TraceSpec::with_seed`] to build the seed distribution.
+pub struct Headline {
+    /// Metric label within the figure (e.g. `"ipex_both_gmean"`).
+    pub label: String,
+    /// The single-seed trace environment the published figure uses.
+    pub base_trace: TraceSpec,
+    /// Configurations whose full-suite results the metric needs.
+    pub configs: Vec<SimConfig>,
+    /// Reduces the suites (same order as `configs`) to the scalar.
+    pub eval: fn(&[BTreeMap<&'static str, SimResult>]) -> f64,
+}
+
+impl Headline {
+    /// The simulation points needed to evaluate this headline under
+    /// `trace`.
+    pub fn points_under(&self, trace: &TraceSpec) -> Vec<SimPoint> {
+        self.configs
+            .iter()
+            .flat_map(|c| suite_points(c, trace))
+            .collect()
+    }
+
+    /// Evaluates the metric under `trace`, resolving all simulation
+    /// through `sweep` (memoized; points already simulated are hits).
+    pub fn eval_under(&self, sweep: &Sweep, trace: &TraceSpec) -> f64 {
+        let suites: Vec<BTreeMap<&'static str, SimResult>> =
+            self.configs.iter().map(|c| sweep.suite(c, trace)).collect();
+        (self.eval)(&suites)
+    }
+}
+
+/// The standard two-config headline: gmean speedup of the suite under
+/// `test` over the suite under `base` — the y-axis of most figures.
+pub(crate) fn speedup_headline(
+    label: impl Into<String>,
+    trace: TraceSpec,
+    base: SimConfig,
+    test: SimConfig,
+) -> Headline {
+    Headline {
+        label: label.into(),
+        base_trace: trace,
+        configs: vec![base, test],
+        eval: |suites| crate::speedups(&suites[0], &suites[1]).1,
+    }
 }
 
 /// What a figure renders against: the engine resolving its points and

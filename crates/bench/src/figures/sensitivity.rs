@@ -8,7 +8,8 @@ use ehs_mem::{NvmConfig, NvmTech, DEFAULT_NVM_BYTES};
 use ehs_sim::prelude::*;
 use ipex::IpexConfig;
 
-use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, rfhome, speedup_headline, suite_points};
+use super::{Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, speedups, SweepPoint, SweepRow};
 
@@ -53,6 +54,16 @@ impl Figure for Sensitivity {
                 let mut pts = suite_points(&base, &trace);
                 pts.extend(suite_points(&ipex, &trace));
                 pts
+            })
+            .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        (self.sweep_points)()
+            .iter()
+            .map(|(label, m)| {
+                let (base, ipex) = pair(m);
+                speedup_headline(label.clone(), rfhome(), base, ipex)
             })
             .collect()
     }

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use ehs_sim::prelude::*;
 use serde::Serialize;
 
-use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, pct};
 
@@ -60,6 +60,24 @@ impl Figure for Tab2 {
         let mut pts = suite_points(&base_cfg(), &trace);
         pts.extend(suite_points(&ipex_both_cfg(), &trace));
         pts
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        fn delta(s: &[BTreeMap<&'static str, SimResult>], pick: fn(&Row) -> f64) -> f64 {
+            pick(&aggregate(&s[1], "ipex")) - pick(&aggregate(&s[0], "base"))
+        }
+        let mk = |label: &str, eval: fn(&[BTreeMap<&'static str, SimResult>]) -> f64| Headline {
+            label: label.into(),
+            base_trace: rfhome(),
+            configs: vec![base_cfg(), ipex_both_cfg()],
+            eval,
+        };
+        vec![
+            mk("acc_inst_gain", |s| delta(s, |r| r.acc_inst)),
+            mk("acc_data_gain", |s| delta(s, |r| r.acc_data)),
+            mk("cov_inst_gain", |s| delta(s, |r| r.cov_inst)),
+            mk("cov_data_gain", |s| delta(s, |r| r.cov_data)),
+        ]
     }
 
     fn render(&self, cx: &RenderCx<'_>) {

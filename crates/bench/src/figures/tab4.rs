@@ -5,7 +5,8 @@ use ehs_prefetch::DataPrefetcherKind;
 use ehs_sim::prelude::*;
 use serde::Serialize;
 
-use super::{base_cfg, ipex_both_cfg, rfhome, suite_points, Figure, RenderCx};
+use super::{base_cfg, ipex_both_cfg, rfhome, speedup_headline, suite_points};
+use super::{Figure, Headline, RenderCx};
 use crate::sweep::SimPoint;
 use crate::{banner, speedups};
 
@@ -41,6 +42,16 @@ impl Figure for Tab4 {
                 let mut pts = suite_points(&base, &trace);
                 pts.extend(suite_points(&ipex, &trace));
                 pts
+            })
+            .collect()
+    }
+
+    fn headlines(&self) -> Vec<Headline> {
+        DataPrefetcherKind::TABLE4
+            .into_iter()
+            .map(|kind| {
+                let (base, ipex) = pair_for(kind);
+                speedup_headline(format!("{}_ipex_gmean", kind.name()), rfhome(), base, ipex)
             })
             .collect()
     }

@@ -1,0 +1,740 @@
+//! The sweep service: a long-running daemon owning the result cache.
+//!
+//! `ehs-serve` wraps one [`Sweep`] engine behind a Unix-domain socket so
+//! any number of client processes — figure renderers, Monte Carlo
+//! drivers, CI smoke jobs — can share a single exactly-once simulation
+//! pool and one `results/.cache` without racing each other.
+//!
+//! ## Protocol
+//!
+//! Frames are a little-endian `u32` byte length followed by that many
+//! bytes of JSON — one [`Request`] per client frame, one [`Response`]
+//! per server frame. A `Batch` (or its seed-expanding shorthand
+//! `SeedSweep`) is answered by a stream of `Point` frames, one per
+//! requested point **in completion order** (each carries its request
+//! index), terminated by a single `Done` frame carrying the server's
+//! cumulative [`SweepStats`]. `Ping`, `Stats`, and `Shutdown` get
+//! single-frame answers. A malformed request gets an `Error` frame and
+//! the connection stays usable.
+//!
+//! Concurrent batches — on one connection or many — are sharded across
+//! a server-wide worker pool and deduplicated by the engine's in-flight
+//! memo: overlapping points are simulated once and every requester gets
+//! the same bytes back.
+//!
+//! Workloads cross the wire by name ([`WirePoint`]), because a
+//! [`SimPoint`] holds a `&'static str` into the suite registry; the
+//! server resolves names on receipt and rejects unknown ones before
+//! starting any work of the batch.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ehs_energy::TraceSpec;
+use ehs_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::{SimPoint, Sweep, SweepStats};
+
+/// Upper bound on a single frame's payload; anything larger is a
+/// protocol violation (a full suite batch is a few hundred kB).
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// How long blocking reads wait before re-checking the shutdown flag,
+/// and how long the accept loop sleeps when idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A [`SimPoint`] in wire form: the workload crosses as its name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WirePoint {
+    /// Workload name (must exist in [`ehs_workloads::SUITE`]).
+    pub workload: String,
+    /// Full machine configuration.
+    pub config: SimConfig,
+    /// Identity of the input power.
+    pub trace: TraceSpec,
+}
+
+impl WirePoint {
+    /// Wire form of an in-process point.
+    pub fn from_point(p: &SimPoint) -> WirePoint {
+        WirePoint {
+            workload: p.workload.to_owned(),
+            config: p.config.clone(),
+            trace: p.trace.clone(),
+        }
+    }
+
+    /// Resolves the workload name against the suite registry.
+    pub fn resolve(&self) -> Result<SimPoint, String> {
+        match ehs_workloads::by_name(&self.workload) {
+            Some(w) => Ok(SimPoint::new(
+                w.name(),
+                self.config.clone(),
+                self.trace.clone(),
+            )),
+            None => Err(format!("unknown workload `{}`", self.workload)),
+        }
+    }
+}
+
+/// One client frame.
+///
+/// Wire enums are serialized the moment they are built and never held
+/// in bulk, so the variant-size skew clippy flags has no cost here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered by `Pong`.
+    Ping,
+    /// Simulate these points; answered by streamed `Point` frames (in
+    /// completion order, carrying request indices) then one `Done`.
+    Batch { points: Vec<WirePoint> },
+    /// [`Request::Batch`] shorthand for a Monte Carlo run: one
+    /// `(workload, config, trace)` expanded into `count` seed-varied
+    /// points (seeds `seed_base..seed_base+count`, via
+    /// [`TraceSpec::with_seed`]).
+    SeedSweep {
+        workload: String,
+        config: SimConfig,
+        trace: TraceSpec,
+        seed_base: u64,
+        count: u64,
+    },
+    /// The server's cumulative engine counters; answered by `Stats`.
+    Stats,
+    /// Stop accepting connections and exit once in-flight work drains;
+    /// answered by `ShuttingDown`.
+    Shutdown,
+}
+
+/// The wire form of one point's simulation outcome.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The simulation completed.
+    Ok { result: SimResult },
+    /// The simulation failed (cycle budget, program fault); the message
+    /// is the rendered [`SimError`].
+    Err { message: String },
+}
+
+/// One server frame.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to `Ping`.
+    Pong,
+    /// One resolved point of a batch; `index` is its position in the
+    /// request (after seed expansion, for `SeedSweep`).
+    Point { index: u64, outcome: Outcome },
+    /// A batch finished: all `total` points have been streamed. Carries
+    /// the server's cumulative stats at completion time.
+    Done { total: u64, stats: SweepStats },
+    /// Answer to `Stats`.
+    Stats { stats: SweepStats },
+    /// Answer to `Shutdown`.
+    ShuttingDown,
+    /// The request could not be started (malformed frame, unknown
+    /// workload); no `Point`/`Done` frames follow.
+    Error { message: String },
+}
+
+/// Writes one length-prefixed JSON frame.
+fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = json.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating read-timeout wakeups
+/// (used to poll the shutdown flag). Returns `Ok(false)` on a clean EOF
+/// before the first byte; EOF mid-buffer is an error.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    interrupted: impl Fn() -> bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if interrupted() {
+            return Ok(false);
+        }
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame's JSON text; `Ok(None)` on clean EOF or interrupt.
+fn read_frame_text(
+    r: &mut impl Read,
+    interrupted: impl Fn() -> bool,
+) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    if !read_full(r, &mut header, &interrupted)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_full(r, &mut payload, &interrupted)? {
+        return Ok(None);
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// One unit of batch work for the shared worker pool.
+struct Job {
+    point: SimPoint,
+    index: u64,
+    total: u64,
+    /// Points of this batch still unfinished; the worker that drops it
+    /// to zero streams the `Done` frame.
+    remaining: Arc<AtomicU64>,
+    conn: Arc<ConnWriter>,
+}
+
+/// The write side of one connection, shared by the reader thread and
+/// every worker streaming results to it. Write failures are recorded
+/// but not fatal: a client that hung up forfeits its answers while the
+/// simulations (shared with everyone else via the engine memo) finish.
+struct ConnWriter {
+    stream: Mutex<UnixStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, resp: &Response) {
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *stream, resp);
+    }
+}
+
+/// A running sweep service bound to a Unix socket.
+///
+/// Dropping the handle does not stop the server; call
+/// [`Server::join`] after a client sent `Shutdown` (or use
+/// [`Server::trigger_shutdown`] in-process).
+pub struct Server {
+    path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `path` (replacing a stale socket file) and starts the
+    /// accept loop plus `sweep.jobs()` shared workers.
+    pub fn spawn(path: impl AsRef<Path>, sweep: Arc<Sweep>) -> io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..sweep.jobs())
+            .map(|_| {
+                let (rx, sweep) = (Arc::clone(&rx), Arc::clone(&sweep));
+                std::thread::spawn(move || worker_loop(&rx, &sweep))
+            })
+            .collect();
+
+        let accept_thread = {
+            let (shutdown, sweep) = (Arc::clone(&shutdown), Arc::clone(&sweep));
+            std::thread::spawn(move || accept_loop(&listener, tx, &sweep, &shutdown))
+        };
+
+        Ok(Server {
+            path,
+            shutdown,
+            accept_thread,
+            workers,
+        })
+    }
+
+    /// The socket path the server is listening on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Requests shutdown from inside the process (equivalent to a
+    /// client's `Shutdown` frame).
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server has fully stopped: the accept loop
+    /// exited, every connection drained, every worker finished. Removes
+    /// the socket file.
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Accepts connections until shutdown, then joins every connection
+/// reader (whose exit drops the last job senders, draining the pool).
+fn accept_loop(
+    listener: &UnixListener,
+    tx: Sender<Job>,
+    sweep: &Arc<Sweep>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let (tx, sweep, shutdown) = (tx.clone(), Arc::clone(sweep), Arc::clone(shutdown));
+                conns.push(std::thread::spawn(move || {
+                    serve_connection(stream, &tx, &sweep, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => break,
+        }
+        // Reap finished connections so a long-lived server does not
+        // accumulate dead handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    drop(tx);
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection: reads requests until EOF or shutdown,
+/// answering control frames inline and handing batch points to the
+/// shared pool.
+fn serve_connection(
+    stream: UnixStream,
+    tx: &Sender<Job>,
+    sweep: &Arc<Sweep>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    // Short read timeouts let the reader notice the shutdown flag even
+    // while a client keeps the connection open but idle.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut read_half = stream;
+    loop {
+        let text = match read_frame_text(&mut read_half, || shutdown.load(Ordering::SeqCst)) {
+            Ok(Some(text)) => text,
+            Ok(None) => return, // clean EOF or shutting down
+            Err(_) => return,
+        };
+        let request: Request = match serde_json::from_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                conn.send(&Response::Error {
+                    message: format!("malformed request: {e}"),
+                });
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => conn.send(&Response::Pong),
+            Request::Stats => conn.send(&Response::Stats {
+                stats: sweep.stats(),
+            }),
+            Request::Shutdown => {
+                conn.send(&Response::ShuttingDown);
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            Request::Batch { points } => enqueue_batch(points, tx, sweep, &conn),
+            Request::SeedSweep {
+                workload,
+                config,
+                trace,
+                seed_base,
+                count,
+            } => {
+                let points = (0..count)
+                    .map(|i| WirePoint {
+                        workload: workload.clone(),
+                        config: config.clone(),
+                        trace: trace.with_seed(seed_base.wrapping_add(i)),
+                    })
+                    .collect();
+                enqueue_batch(points, tx, sweep, &conn);
+            }
+        }
+    }
+}
+
+/// Validates a batch and hands its points to the worker pool. Rejection
+/// (unknown workload) happens before any point starts, so an `Error`
+/// frame is never followed by partial results.
+fn enqueue_batch(
+    points: Vec<WirePoint>,
+    tx: &Sender<Job>,
+    sweep: &Arc<Sweep>,
+    conn: &Arc<ConnWriter>,
+) {
+    let resolved: Result<Vec<SimPoint>, String> = points.iter().map(WirePoint::resolve).collect();
+    let resolved = match resolved {
+        Ok(r) => r,
+        Err(message) => {
+            conn.send(&Response::Error { message });
+            return;
+        }
+    };
+    let total = resolved.len() as u64;
+    if total == 0 {
+        conn.send(&Response::Done {
+            total: 0,
+            stats: sweep.stats(),
+        });
+        return;
+    }
+    let remaining = Arc::new(AtomicU64::new(total));
+    for (index, point) in resolved.into_iter().enumerate() {
+        let job = Job {
+            point,
+            index: index as u64,
+            total,
+            remaining: Arc::clone(&remaining),
+            conn: Arc::clone(conn),
+        };
+        if tx.send(job).is_err() {
+            // Pool already drained (server shutting down).
+            conn.send(&Response::Error {
+                message: "server is shutting down".to_owned(),
+            });
+            return;
+        }
+    }
+}
+
+/// One shared worker: pulls jobs until every sender is gone, resolves
+/// each through the engine (memoized, in-flight-deduplicated), streams
+/// the result, and emits `Done` when its batch empties.
+fn worker_loop(rx: &Mutex<Receiver<Job>>, sweep: &Sweep) {
+    loop {
+        let job = match rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        // Through `request` (not `get`) so the engine's `requested`
+        // counter accounts every client point.
+        let resolved = sweep
+            .request(vec![job.point.clone()])
+            .wait()
+            .pop()
+            .expect("one result per requested point");
+        let outcome = match resolved {
+            Ok(result) => Outcome::Ok { result },
+            Err(e) => Outcome::Err {
+                message: e.to_string(),
+            },
+        };
+        job.conn.send(&Response::Point {
+            index: job.index,
+            outcome,
+        });
+        if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            job.conn.send(&Response::Done {
+                total: job.total,
+                stats: sweep.stats(),
+            });
+        }
+    }
+}
+
+/// A fully streamed batch: outcomes in request order plus the server's
+/// cumulative stats at completion.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// One outcome per requested point, in request order.
+    pub outcomes: Vec<Outcome>,
+    /// Server engine counters when the batch finished.
+    pub stats: SweepStats,
+}
+
+impl BatchReply {
+    /// Unwraps every outcome, panicking on any simulation error — for
+    /// callers whose batches must succeed (figures, tests).
+    pub fn results(&self) -> Vec<SimResult> {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                Outcome::Ok { result } => result.clone(),
+                Outcome::Err { message } => panic!("point failed on server: {message}"),
+            })
+            .collect()
+    }
+}
+
+/// A blocking client for the sweep service.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// [`Client::connect`] retrying until `timeout` — for drivers that
+    /// start the daemon and immediately dial it.
+    pub fn connect_retry(path: impl AsRef<Path>, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(path.as_ref()) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, req)
+    }
+
+    fn recv(&mut self) -> io::Result<Response> {
+        let text = read_frame_text(&mut self.stream, || false)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams a batch of in-process points and blocks until `Done`.
+    pub fn batch(&mut self, points: &[SimPoint]) -> io::Result<BatchReply> {
+        let wire = points.iter().map(WirePoint::from_point).collect();
+        self.batch_wire(wire)
+    }
+
+    /// Streams a batch of wire points and blocks until `Done`.
+    pub fn batch_wire(&mut self, points: Vec<WirePoint>) -> io::Result<BatchReply> {
+        let expected = points.len();
+        self.send(&Request::Batch { points })?;
+        self.collect_batch(expected)
+    }
+
+    /// Runs a seed sweep: `count` seed-varied copies of one point.
+    pub fn seed_sweep(
+        &mut self,
+        workload: &str,
+        config: SimConfig,
+        trace: TraceSpec,
+        seed_base: u64,
+        count: u64,
+    ) -> io::Result<BatchReply> {
+        self.send(&Request::SeedSweep {
+            workload: workload.to_owned(),
+            config,
+            trace,
+            seed_base,
+            count,
+        })?;
+        self.collect_batch(count as usize)
+    }
+
+    /// Fetches the server's cumulative engine counters.
+    pub fn server_stats(&mut self) -> io::Result<SweepStats> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to stop once in-flight work drains.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drains `Point` frames (completion order) into request order until
+    /// `Done`.
+    fn collect_batch(&mut self, expected: usize) -> io::Result<BatchReply> {
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; expected];
+        loop {
+            match self.recv()? {
+                Response::Point { index, outcome } => {
+                    let slot = outcomes.get_mut(index as usize).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("point index {index} out of range (batch of {expected})"),
+                        )
+                    })?;
+                    *slot = Some(outcome);
+                }
+                Response::Done { total, stats } => {
+                    if total as usize != expected || outcomes.iter().any(Option::is_none) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "batch completed with missing points",
+                        ));
+                    }
+                    return Ok(BatchReply {
+                        outcomes: outcomes.into_iter().flatten().collect(),
+                        stats,
+                    });
+                }
+                Response::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_wire_point() -> WirePoint {
+        WirePoint {
+            workload: "gsmd".to_owned(),
+            config: SimConfig::builder().build(),
+            trace: TraceSpec::Constant {
+                power_mw: 50.0,
+                samples: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn wire_point_round_trips_and_rejects_unknown_workloads() {
+        let wp = tiny_wire_point();
+        let p = wp.resolve().unwrap();
+        assert_eq!(p.workload, "gsmd");
+        assert_eq!(WirePoint::from_point(&p).resolve().unwrap().key(), p.key());
+        let bad = WirePoint {
+            workload: "no-such-app".to_owned(),
+            ..tiny_wire_point()
+        };
+        assert!(bad.resolve().is_err());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request::SeedSweep {
+            workload: "gsmd".to_owned(),
+            config: SimConfig::builder().build(),
+            trace: TraceSpec::default_rfhome(),
+            seed_base: 1000,
+            count: 4,
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let text = read_frame_text(&mut buf.as_slice(), || false)
+            .unwrap()
+            .expect("one frame");
+        let back: Request = serde_json::from_str(&text).unwrap();
+        match back {
+            Request::SeedSweep {
+                seed_base, count, ..
+            } => {
+                assert_eq!((seed_base, count), (1000, 4));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // EOF after the frame is clean.
+        assert!(read_frame_text(&mut io::empty(), || false)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let err = read_frame_text(&mut buf.as_slice(), || false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn server_round_trip_over_a_real_socket() {
+        let path = std::env::temp_dir().join(format!("ehs-serve-test-{}.sock", std::process::id()));
+        let sweep = Arc::new(Sweep::in_memory());
+        let server = Server::spawn(&path, Arc::clone(&sweep)).unwrap();
+
+        let mut client = Client::connect_retry(&path, Duration::from_secs(5)).unwrap();
+        client.ping().unwrap();
+        let reply = client
+            .batch_wire(vec![tiny_wire_point(), tiny_wire_point()])
+            .unwrap();
+        assert_eq!(reply.outcomes.len(), 2);
+        let results = reply.results();
+        assert_eq!(results[0], results[1], "duplicate points, one simulation");
+        assert_eq!(reply.stats.simulated, 1);
+
+        client.shutdown().unwrap();
+        server.join();
+        assert!(!path.exists(), "socket file must be removed on shutdown");
+    }
+}

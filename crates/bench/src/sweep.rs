@@ -151,7 +151,7 @@ impl CheckpointPolicy {
 /// Every requested point ends up in exactly one bucket per resolution:
 /// `memo_hits` (already resolved in this process), `disk_hits` (loaded
 /// from the persistent cache), or `simulated` (an actual machine run).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Points passed to [`Sweep::request`], duplicates included.
     pub requested: u64,
