@@ -209,6 +209,10 @@ fn describe(ev: &SimEvent) -> String {
             "threshold-cross  [{}]  V={voltage:.3} degree {old_degree} -> {new_degree}",
             path.letter()
         ),
+        SimEvent::PolicyAdapt { path, adaptations, .. } => format!(
+            "policy-adapt     [{}]  adaptation #{adaptations}",
+            path.letter()
+        ),
         SimEvent::PowerCycleSummary { power_cycle, on_cycles, off_cycles, .. } => format!(
             "power-cycle-summary   #{power_cycle}: on {on_cycles} off {off_cycles}"
         ),

@@ -10,7 +10,7 @@
 //!               [--checkpoint-every N]
 //! ```
 //!
-//! `matrix` sweeps the full 20-workload × 4-configuration × 4-trace-kind
+//! `matrix` sweeps the full 20-workload × 7-configuration × 4-trace-kind
 //! differential grid; `fuzz` runs the adversarial outage fuzzer and
 //! prints (shrunk) reproducers for any divergence; `shrink` minimizes a
 //! committed corpus case. With `--checkpoint-every N`, shrinking resumes
@@ -128,7 +128,7 @@ fn cmd_matrix(args: &[String]) -> ExitCode {
     }
 
     println!(
-        "differential matrix: 20 workloads x 4 configs x 4 trace kinds \
+        "differential matrix: 20 workloads x 7 configs x 4 trace kinds \
          (seed {seed:#x}, {samples} samples, invariants {})",
         if invariants { "on" } else { "off" }
     );

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use ehs_sim::prelude::*;
+use ipex::{HysteresisConfig, PolicyConfig, PredictiveConfig, StaticDegreeConfig};
 use serde::Serialize;
 
 use crate::sweep::{SimPoint, Sweep};
@@ -30,6 +31,7 @@ mod fig13;
 mod fig14;
 mod fig15;
 mod fig23;
+mod fig26;
 mod sensitivity;
 mod tab2;
 mod tab3;
@@ -154,8 +156,8 @@ impl RenderCx<'_> {
     }
 }
 
-/// All 24 experiments, in presentation order.
-pub static REGISTRY: [&dyn Figure; 24] = [
+/// All 25 experiments, in presentation order.
+pub static REGISTRY: [&dyn Figure; 25] = [
     &fig01::Fig01,
     &fig02::Fig02,
     &fig04::Fig04,
@@ -175,6 +177,7 @@ pub static REGISTRY: [&dyn Figure; 24] = [
     &fig23::Fig23,
     &sensitivity::FIG24,
     &sensitivity::FIG25,
+    &fig26::Fig26,
     &tab2::Tab2,
     &tab3::Tab3,
     &tab4::Tab4,
@@ -231,6 +234,34 @@ pub(crate) fn ipex_data_cfg() -> SimConfig {
 
 pub(crate) fn ipex_both_cfg() -> SimConfig {
     SimConfig::builder().ipex(Ipex::Both).build()
+}
+
+/// The alternative throttling policies of fig26, each on both caches.
+pub(crate) fn predictive_cfg() -> SimConfig {
+    SimConfig::builder()
+        .throttle_policy(
+            Ipex::Both,
+            PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+        )
+        .build()
+}
+
+pub(crate) fn hysteresis_cfg() -> SimConfig {
+    SimConfig::builder()
+        .throttle_policy(
+            Ipex::Both,
+            PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+        )
+        .build()
+}
+
+pub(crate) fn static_deg_cfg() -> SimConfig {
+    SimConfig::builder()
+        .throttle_policy(
+            Ipex::Both,
+            PolicyConfig::StaticDegree(StaticDegreeConfig::conservative()),
+        )
+        .build()
 }
 
 #[cfg(test)]

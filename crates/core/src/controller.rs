@@ -74,16 +74,6 @@ pub struct IpexControllerState {
     pub stats: IpexStats,
 }
 
-/// Serializable state of a [`Throttle`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(rename_all = "kebab-case")]
-pub enum ThrottleState {
-    /// Stateless passthrough.
-    Passthrough,
-    /// Full IPEX controller state (boxed: it dwarfs the other variant).
-    Ipex(Box<IpexControllerState>),
-}
-
 /// The per-cache IPEX controller.
 ///
 /// Drive it with [`IpexController::observe_voltage`] (every cycle or on
@@ -313,111 +303,6 @@ impl IpexController {
     }
 }
 
-/// Optional throttling for a simulated cache: either a transparent
-/// passthrough (conventional prefetching) or a full IPEX controller.
-///
-/// This is what the simulator embeds, so baseline and IPEX configurations
-/// share one code path.
-#[derive(Debug, Clone)]
-pub enum Throttle {
-    /// Conventional prefetching: candidates pass through untouched.
-    Passthrough,
-    /// IPEX-controlled prefetching (boxed: the controller carries the
-    /// threshold ladder and reissue queue).
-    Ipex(Box<IpexController>),
-}
-
-impl Throttle {
-    /// Builds an IPEX throttle from a configuration.
-    pub fn ipex(cfg: IpexConfig) -> Throttle {
-        Throttle::Ipex(Box::new(IpexController::new(cfg)))
-    }
-
-    /// `true` if this is an IPEX controller.
-    pub fn is_ipex(&self) -> bool {
-        matches!(self, Throttle::Ipex(_))
-    }
-
-    /// Voltage update; passthrough ignores it. See
-    /// [`IpexController::observe_voltage`].
-    pub fn observe_voltage(&mut self, voltage: f64) -> Option<Vec<u32>> {
-        match self {
-            Throttle::Passthrough => None,
-            Throttle::Ipex(c) => c.observe_voltage(voltage),
-        }
-    }
-
-    /// Candidate filtering; passthrough keeps everything.
-    #[inline]
-    pub fn filter(&mut self, candidates: &mut Vec<u32>) -> usize {
-        match self {
-            Throttle::Passthrough => candidates.len(),
-            Throttle::Ipex(c) => c.filter(candidates),
-        }
-    }
-
-    /// Power-failure notification.
-    pub fn on_power_failure(&mut self) {
-        if let Throttle::Ipex(c) = self {
-            c.on_power_failure();
-        }
-    }
-
-    /// Reboot notification.
-    pub fn on_reboot(&mut self) {
-        if let Throttle::Ipex(c) = self {
-            c.on_reboot();
-        }
-    }
-
-    /// Controller statistics, if IPEX.
-    pub fn stats(&self) -> Option<IpexStats> {
-        match self {
-            Throttle::Passthrough => None,
-            Throttle::Ipex(c) => Some(c.stats()),
-        }
-    }
-
-    /// Current effective prefetch degree (`Rcpd`), if IPEX. Passthrough
-    /// has no degree cap. Lets an observer (e.g. the simulator's tracer)
-    /// detect threshold crossings around [`Throttle::observe_voltage`].
-    pub fn current_degree(&self) -> Option<u32> {
-        match self {
-            Throttle::Passthrough => None,
-            Throttle::Ipex(c) => Some(c.current_degree()),
-        }
-    }
-
-    /// The voltage thresholds this throttle reacts to, highest first
-    /// (empty for passthrough). [`Throttle::observe_voltage`] is a no-op
-    /// exactly while the voltage stays within one inter-threshold band,
-    /// which is what lets the simulator batch observations over a safe
-    /// energy window (see `ehs-sim`'s `Machine`).
-    pub fn thresholds(&self) -> &[f64] {
-        match self {
-            Throttle::Passthrough => &[],
-            Throttle::Ipex(c) => c.thresholds(),
-        }
-    }
-
-    /// The complete state as a serializable value, for snapshot/resume.
-    pub fn export_state(&self) -> ThrottleState {
-        match self {
-            Throttle::Passthrough => ThrottleState::Passthrough,
-            Throttle::Ipex(c) => ThrottleState::Ipex(Box::new(c.export_state())),
-        }
-    }
-
-    /// Rebuilds a throttle from state previously produced by
-    /// [`Throttle::export_state`].
-    pub fn from_state(state: &ThrottleState) -> Result<Throttle, String> {
-        match state {
-            ThrottleState::Passthrough => Ok(Throttle::Passthrough),
-            ThrottleState::Ipex(s) => Ok(Throttle::Ipex(Box::new(IpexController::from_state(s)?))),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,29 +492,6 @@ mod tests {
             c.observe_voltage(3.5).is_none(),
             "queue did not survive the outage"
         );
-    }
-
-    #[test]
-    fn throttle_enum_passthrough() {
-        let mut t = Throttle::Passthrough;
-        assert!(!t.is_ipex());
-        let mut cand = vec![1, 2, 3, 4, 5];
-        assert_eq!(t.filter(&mut cand), 5);
-        assert_eq!(cand.len(), 5);
-        assert!(t.observe_voltage(3.0).is_none());
-        assert!(t.stats().is_none());
-        t.on_power_failure();
-        t.on_reboot();
-    }
-
-    #[test]
-    fn throttle_enum_ipex_delegates() {
-        let mut t = Throttle::ipex(IpexConfig::paper_default());
-        assert!(t.is_ipex());
-        t.observe_voltage(3.2);
-        let mut cand = vec![1, 2];
-        assert_eq!(t.filter(&mut cand), 0);
-        assert_eq!(t.stats().unwrap().throttled, 2);
     }
 
     #[test]

@@ -46,14 +46,31 @@
 //! assert_eq!(issued, 1);
 //! assert_eq!(candidates, vec![0x1000]);
 //! ```
+//!
+//! ## Beyond IPEX: the policy layer
+//!
+//! The controller answers one instance of a general question — how
+//! aggressively to prefetch given the capacitor voltage. The [`policy`]
+//! module names that question as the [`ThrottlePolicy`] contract and
+//! ships alternative answers ([`PredictiveController`],
+//! [`HysteresisController`], [`StaticController`]) behind the closed
+//! [`AnyPolicy`] enum the simulator embeds; `IpexController` is one
+//! implementation among them. See the module docs for the state rules.
+
+#![warn(missing_docs)]
 
 mod config;
 mod controller;
 pub mod overhead;
+pub mod policy;
 mod registers;
 
 pub use config::IpexConfig;
-pub use controller::{
-    IpexController, IpexControllerState, IpexStats, Mode, Throttle, ThrottleState,
+pub use controller::{IpexController, IpexControllerState, IpexStats, Mode};
+pub use policy::{
+    AnyPolicy, HysteresisConfig, HysteresisController, HysteresisControllerState, PolicyConfig,
+    PolicyState, PolicyStats, PredictiveConfig, PredictiveController, PredictiveControllerState,
+    StaticController, StaticControllerState, StaticDegreeConfig, Throttle, ThrottlePolicy,
+    ThrottleState, IPEX_NVFF_BITS, PREDICTIVE_NVFF_BITS,
 };
 pub use registers::IpexRegisters;

@@ -25,6 +25,7 @@ mod block;
 mod buffer;
 mod cache;
 mod nvm;
+mod persist;
 
 pub use block::{block_of, BLOCK_SIZE};
 pub use buffer::{
@@ -35,3 +36,4 @@ pub use nvm::{
     Nvm, NvmConfig, NvmState, NvmStats, NvmTech, ReadReason, DEFAULT_ACTIVE_LEAK_FRACTION,
     DEFAULT_NVM_BYTES,
 };
+pub use persist::Persist;

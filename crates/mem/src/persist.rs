@@ -1,0 +1,36 @@
+//! The shared persistence contract for snapshot/resume.
+//!
+//! Every stateful component the simulator checkpoints — prefetchers,
+//! throttling policies, the IPEX controller itself — follows the same
+//! pattern: export a plain serializable *state* value, and rebuild the
+//! live component from it later, validating on the way in. Before this
+//! trait each component spelled that pair out ad hoc
+//! (`export_state`/`from_state`/`import_state`), so wiring a new
+//! component into `ehs-sim`'s snapshot path meant three hand-rolled call
+//! sites. [`Persist`] names the pattern once; `ehs-sim` resumes any
+//! `Persist` implementor through the same two methods.
+
+/// A component whose complete live state can be exported as a plain
+/// serializable value and later rebuilt from it.
+///
+/// The associated [`Persist::State`] type is the wire format: it should
+/// derive `Serialize`/`Deserialize` (the trait does not force the bound
+/// so implementors keep control of their serde attributes) and carry
+/// *everything* needed to reconstruct the component bit-identically —
+/// resuming from an exported state and running `m` more cycles must be
+/// indistinguishable from never having stopped.
+pub trait Persist: Sized {
+    /// The serializable wire form of the component's state.
+    type State;
+
+    /// Exports the complete live state.
+    fn export_state(&self) -> Self::State;
+
+    /// Rebuilds the component from a previously exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description when the state is internally
+    /// inconsistent (e.g. a corrupted or hand-edited snapshot).
+    fn from_state(state: &Self::State) -> Result<Self, String>;
+}

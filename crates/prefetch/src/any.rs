@@ -77,6 +77,18 @@ impl Prefetcher for AnyPrefetcher {
     }
 }
 
+impl ehs_mem::Persist for AnyPrefetcher {
+    type State = PrefetcherState;
+
+    fn export_state(&self) -> PrefetcherState {
+        Prefetcher::export_state(self)
+    }
+
+    fn from_state(state: &PrefetcherState) -> Result<AnyPrefetcher, String> {
+        Ok(state.into_any())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@
 use ehs_energy::{CapacitorConfig, EnergyModel};
 use ehs_mem::{CacheConfig, NvmConfig, NvmTech, BLOCK_SIZE};
 use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
-use ipex::IpexConfig;
+use ipex::{IpexConfig, PolicyConfig};
 
 use crate::config::PrefetchMode;
 use crate::trace::TraceMode;
@@ -68,6 +68,7 @@ pub struct SimConfigBuilder {
     prefetch: bool,
     ipex: Ipex,
     ipex_cfg: IpexConfig,
+    policy: Option<(Ipex, PolicyConfig)>,
 }
 
 impl Default for SimConfigBuilder {
@@ -77,6 +78,7 @@ impl Default for SimConfigBuilder {
             prefetch: true,
             ipex: Ipex::Off,
             ipex_cfg: IpexConfig::paper_default(),
+            policy: None,
         }
     }
 }
@@ -100,6 +102,18 @@ impl SimConfigBuilder {
     /// [`IpexConfig::paper_default`]).
     pub fn ipex_config(mut self, cfg: IpexConfig) -> Self {
         self.ipex_cfg = cfg;
+        self
+    }
+
+    /// Throttles prefetching with an alternative [`PolicyConfig`]
+    /// controller (predictive, hysteresis, static-degree) on the caches
+    /// `which` selects — the same placement semantics as
+    /// [`ipex`](Self::ipex): [`Ipex::Data`] leaves the instruction side
+    /// conventional. Incompatible with a non-`Off` [`ipex`](Self::ipex)
+    /// selection; for IPEX itself use `ipex()`, which keeps the
+    /// dedicated config variant (and cache keys) unchanged.
+    pub fn throttle_policy(mut self, which: Ipex, cfg: PolicyConfig) -> Self {
+        self.policy = Some((which, cfg));
         self
     }
 
@@ -237,6 +251,7 @@ impl SimConfigBuilder {
             prefetch,
             ipex,
             ipex_cfg,
+            policy,
         } = self;
 
         let mut problems = Vec::new();
@@ -246,6 +261,25 @@ impl SimConfigBuilder {
                  must be one to throttle"
                     .to_owned(),
             );
+        }
+        if let Some((which, pc)) = &policy {
+            if ipex != Ipex::Off {
+                problems.push(
+                    "throttle_policy() conflicts with ipex(): pick one controller per build \
+                     (use throttle_policy() alone, or ipex() for IPEX itself)"
+                        .to_owned(),
+                );
+            }
+            if !prefetch && *which != Ipex::Off {
+                problems.push(
+                    "no_prefetch() conflicts with throttle_policy(): a throttling policy \
+                     needs a prefetcher to throttle"
+                        .to_owned(),
+                );
+            }
+            if let Err(e) = pc.validate() {
+                problems.push(format!("throttle_policy: {e}"));
+            }
         }
         for (name, c) in [("icache", &cfg.icache), ("dcache", &cfg.dcache)] {
             if c.size_bytes < BLOCK_SIZE {
@@ -305,6 +339,12 @@ impl SimConfigBuilder {
 
         let (inst_mode, data_mode) = if !prefetch {
             (PrefetchMode::Off, PrefetchMode::Off)
+        } else if let Some((which, pc)) = policy {
+            match which {
+                Ipex::Off => (PrefetchMode::Conventional, PrefetchMode::Conventional),
+                Ipex::Data => (PrefetchMode::Conventional, PrefetchMode::Policy(pc)),
+                Ipex::Both => (PrefetchMode::Policy(pc), PrefetchMode::Policy(pc)),
+            }
         } else {
             match ipex {
                 Ipex::Off => (PrefetchMode::Conventional, PrefetchMode::Conventional),
@@ -414,5 +454,45 @@ mod tests {
     #[should_panic(expected = "invalid SimConfig")]
     fn build_panics_on_invalid() {
         SimConfig::builder().cache_assoc(0).build();
+    }
+
+    #[test]
+    fn throttle_policy_placements() {
+        use ipex::{HysteresisConfig, PredictiveConfig};
+        let pc = PolicyConfig::Predictive(PredictiveConfig::paper_default());
+        let both = SimConfig::builder().throttle_policy(Ipex::Both, pc).build();
+        assert!(matches!(both.inst_mode, PrefetchMode::Policy(_)));
+        assert!(matches!(both.data_mode, PrefetchMode::Policy(_)));
+        let hc = PolicyConfig::Hysteresis(HysteresisConfig::paper_default());
+        let data = SimConfig::builder().throttle_policy(Ipex::Data, hc).build();
+        assert!(matches!(data.inst_mode, PrefetchMode::Conventional));
+        assert!(matches!(data.data_mode, PrefetchMode::Policy(_)));
+    }
+
+    #[test]
+    fn throttle_policy_conflicts_are_rejected() {
+        use ipex::{PredictiveConfig, StaticDegreeConfig};
+        let pc = PolicyConfig::Predictive(PredictiveConfig::paper_default());
+        let err = SimConfig::builder()
+            .ipex(Ipex::Both)
+            .throttle_policy(Ipex::Both, pc)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            err.0.contains("throttle_policy() conflicts with ipex()"),
+            "{err}"
+        );
+        let err = SimConfig::builder()
+            .no_prefetch()
+            .throttle_policy(Ipex::Data, pc)
+            .try_build()
+            .unwrap_err();
+        assert!(err.0.contains("no_prefetch()"), "{err}");
+        let bad = PolicyConfig::StaticDegree(StaticDegreeConfig { degree: 0 });
+        let err = SimConfig::builder()
+            .throttle_policy(Ipex::Both, bad)
+            .try_build()
+            .unwrap_err();
+        assert!(err.0.contains("throttle_policy:"), "{err}");
     }
 }

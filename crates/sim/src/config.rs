@@ -3,7 +3,7 @@
 use ehs_energy::{CapacitorConfig, EnergyModel, PowerTrace, TraceSpec};
 use ehs_mem::{CacheConfig, NvmConfig};
 use ehs_prefetch::{DataPrefetcherKind, InstPrefetcherKind};
-use ipex::IpexConfig;
+use ipex::{IpexConfig, PolicyConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::builder::SimConfigBuilder;
@@ -21,6 +21,12 @@ pub enum PrefetchMode {
     Conventional,
     /// Prefetching throttled by IPEX with the given configuration.
     Ipex(IpexConfig),
+    /// Prefetching throttled by an alternative [`PolicyConfig`]
+    /// controller (predictive, hysteresis, static-degree). IPEX itself
+    /// keeps the dedicated `Ipex` variant so existing configurations —
+    /// and the cache keys derived from their canonical JSON — are
+    /// unchanged.
+    Policy(PolicyConfig),
 }
 
 impl PrefetchMode {

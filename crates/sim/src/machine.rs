@@ -2,9 +2,9 @@
 
 use ehs_energy::{mw_to_nj_per_cycle, Capacitor, EnergyBreakdown, PowerTrace};
 use ehs_isa::{ExecClass, ExecError, Interpreter, Program};
-use ehs_mem::{block_of, Cache, InsertOutcome, Nvm, PrefetchBuffer, ReadReason};
+use ehs_mem::{block_of, Cache, InsertOutcome, Nvm, Persist, PrefetchBuffer, ReadReason};
 use ehs_prefetch::{AccessEvent, AccessOutcome, AnyPrefetcher, Prefetcher};
-use ipex::Throttle;
+use ipex::AnyPolicy;
 
 use serde::{Deserialize, Serialize};
 
@@ -14,11 +14,10 @@ use crate::trace::{EventCounts, PathId, SimEvent, TraceSink, Tracer};
 use crate::{SimConfig, SimResult, SimStats};
 
 /// Volatile register state checkpointed to NVFFs on every outage:
-/// 16 × 32-bit registers plus the 32-bit PC.
+/// 16 × 32-bit registers plus the 32-bit PC. Each path's throttling
+/// policy adds its own [`AnyPolicy::nvff_bits`] on top (64 for IPEX's
+/// `Rthrottled` + `Rtotal`, 4096 for the predictive policy's tables).
 const CORE_NVFF_BITS: u32 = 16 * 32 + 32;
-/// IPEX counters checkpointed per IPEX-enabled cache
-/// (`Rthrottled` + `Rtotal`).
-const IPEX_NVFF_BITS: u32 = 64;
 
 /// Why a simulation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +73,7 @@ struct MemPath {
     /// inlines instead of going through a vtable (see `ehs-prefetch`'s
     /// `any` module and the `dispatch` micro-benchmark).
     pf: AnyPrefetcher,
-    throttle: Throttle,
+    throttle: AnyPolicy,
 }
 
 impl MemPath {
@@ -169,6 +168,11 @@ pub struct Machine {
     /// Verification hook: `true` pins the band invalid so every
     /// instruction performs the full legacy observation sequence.
     vwin_forced_off: bool,
+    /// `true` when either path's throttling policy accumulates state on
+    /// every observation ([`AnyPolicy::batched_observation_safe`] is
+    /// `false`), in which case batching would change results and the
+    /// exact per-instruction path is mandatory, not a hook.
+    vwin_policy_exact: bool,
     /// Cached power-trace sample: harvesting proceeds at `hspan_rate`
     /// nJ/cycle over cycles `[hspan_start, hspan_end)`. Spares the hot
     /// loop a div+mod per instruction; spans outside the cached sample
@@ -211,8 +215,9 @@ impl Machine {
                 }
             };
             let throttle = match mode {
-                PrefetchMode::Ipex(ic) => Throttle::ipex(*ic),
-                _ => Throttle::Passthrough,
+                PrefetchMode::Ipex(ic) => AnyPolicy::ipex(*ic),
+                PrefetchMode::Policy(pc) => pc.build(),
+                _ => AnyPolicy::Passthrough,
             };
             MemPath {
                 cache: Cache::new(if is_inst { cfg.icache } else { cfg.dcache }),
@@ -223,6 +228,8 @@ impl Machine {
         };
         let ipath = build_path(&cfg.inst_mode, true);
         let dpath = build_path(&cfg.data_mode, false);
+        let vwin_policy_exact = !ipath.throttle.batched_observation_safe()
+            || !dpath.throttle.batched_observation_safe();
         let interp = Interpreter::with_mem_size(program, cfg.nvm.size_bytes as usize);
         // NVM standby power is gated: being nonvolatile, the array and
         // its periphery are powered only during transfers (charged per
@@ -271,6 +278,7 @@ impl Machine {
             vwin_lo_nj: f64::INFINITY,
             vwin_hi_nj: f64::NEG_INFINITY,
             vwin_forced_off: false,
+            vwin_policy_exact,
             hspan_start: 0,
             hspan_end: 0,
             hspan_rate: 0.0,
@@ -518,8 +526,8 @@ impl Machine {
             dcache: self.dpath.cache.export_state(),
             ibuf: self.ipath.buf.export_state(),
             dbuf: self.dpath.buf.export_state(),
-            ipf: self.ipath.pf.export_state(),
-            dpf: self.dpath.pf.export_state(),
+            ipf: Persist::export_state(&self.ipath.pf),
+            dpf: Persist::export_state(&self.dpath.pf),
             ithrottle: self.ipath.throttle.export_state(),
             dthrottle: self.dpath.throttle.export_state(),
             nvm: self.nvm.export_state(),
@@ -564,12 +572,10 @@ impl Machine {
         program: &Program,
         trace: PowerTrace,
     ) -> Result<Machine, SnapshotError> {
-        if snap.version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::VersionMismatch {
-                found: snap.version,
-                expected: SNAPSHOT_VERSION,
-            });
-        }
+        // Bring older-format snapshots forward (or reject them) before
+        // any state is applied; see `Snapshot::migrate` for the history.
+        let snap = &snap.clone().migrate()?;
+        debug_assert_eq!(snap.version, SNAPSHOT_VERSION);
         let mut m = Machine::with_trace(snap.cfg.clone(), program, trace);
         let program_digest = m.interp.mem_digest();
         if snap.program_digest != program_digest {
@@ -626,20 +632,22 @@ impl Machine {
                     path.pf.name()
                 )));
             }
-            path.pf = state.into_any();
+            path.pf = Persist::from_state(state)
+                .map_err(|e| SnapshotError::State(format!("{which} prefetcher: {e}")))?;
         }
         for (state, path, which) in [
             (&snap.ithrottle, &mut m.ipath, "instruction"),
             (&snap.dthrottle, &mut m.dpath, "data"),
         ] {
-            let restored = Throttle::from_state(state)
-                .map_err(|e| SnapshotError::State(format!("{which} throttle: {e}")))?;
-            if restored.is_ipex() != path.throttle.is_ipex() {
-                return Err(SnapshotError::State(format!(
-                    "{which} throttle IPEX mode disagrees with the configuration"
-                )));
+            if state.kind_name() != path.throttle.kind_name() {
+                return Err(SnapshotError::PolicyMismatch {
+                    which,
+                    found: state.kind_name(),
+                    expected: path.throttle.kind_name(),
+                });
             }
-            path.throttle = restored;
+            path.throttle = Persist::from_state(state)
+                .map_err(|e| SnapshotError::State(format!("{which} throttle: {e}")))?;
         }
 
         m.nvm.import_state(&snap.nvm);
@@ -822,7 +830,7 @@ impl Machine {
     /// (one sqrt + two multiplies); energies inside the margin zone
     /// conservatively take the exact legacy path.
     fn recompute_voltage_window(&mut self) {
-        if self.vwin_forced_off {
+        if self.vwin_forced_off || self.vwin_policy_exact {
             return;
         }
         const MARGIN: f64 = 1e-9;
@@ -1060,13 +1068,8 @@ impl Machine {
     /// Completes a backup after the last dirty-block write: NVFF store,
     /// backup-window leakage, the `BackupDone` event, then power loss.
     fn finish_backup(&mut self, backup_cycles: u64, br_before: f64, dirty_total: u64) {
-        let mut bits = CORE_NVFF_BITS;
-        if self.ipath.throttle.is_ipex() {
-            bits += IPEX_NVFF_BITS;
-        }
-        if self.dpath.throttle.is_ipex() {
-            bits += IPEX_NVFF_BITS;
-        }
+        let bits =
+            CORE_NVFF_BITS + self.ipath.throttle.nvff_bits() + self.dpath.throttle.nvff_bits();
         let store = self.cfg.energy.nvff_store_nj(bits);
         self.energy.backup_restore_nj += store;
         self.cap.consume_nj(store);
@@ -1091,6 +1094,17 @@ impl Machine {
 
     /// Volatile state is lost; the machine goes dark and recharges.
     fn enter_power_loss(&mut self) {
+        // Querying adaptation counters costs a few loads; only pay while
+        // tracing. Failure-time adaptations (e.g. the predictive policy
+        // recording the outage in its tables) surface as `PolicyAdapt`.
+        let adapt_before = if self.tracer.is_enabled() {
+            Some((
+                self.ipath.throttle.adaptations(),
+                self.dpath.throttle.adaptations(),
+            ))
+        } else {
+            None
+        };
         let lost_i = self.ipath.power_loss();
         let lost_d = self.dpath.power_loss();
         let loss_cycle = self.cycle;
@@ -1103,20 +1117,36 @@ impl Machine {
                 });
             }
         }
+        if let Some((before_i, before_d)) = adapt_before {
+            self.emit_policy_adapt(before_i, before_d);
+        }
         self.phase = Phase::Recharge;
+    }
+
+    /// Emits a [`SimEvent::PolicyAdapt`] per path whose adaptation
+    /// counter advanced past the given marks. Tracing-only helper.
+    fn emit_policy_adapt(&mut self, before_i: u64, before_d: u64) {
+        let now = self.cycle;
+        for (before, after, pid) in [
+            (before_i, self.ipath.throttle.adaptations(), PathId::Inst),
+            (before_d, self.dpath.throttle.adaptations(), PathId::Data),
+        ] {
+            if after != before {
+                self.tracer.emit_with(|| SimEvent::PolicyAdapt {
+                    cycle: now,
+                    path: pid,
+                    adaptations: after,
+                });
+            }
+        }
     }
 
     /// Reboot once the capacitor can boot: restore registers (cold
     /// caches), reset per-power-cycle state, and resume execution.
     fn reboot(&mut self) {
         if !self.cfg.ideal_backup {
-            let mut bits = CORE_NVFF_BITS;
-            if self.ipath.throttle.is_ipex() {
-                bits += IPEX_NVFF_BITS;
-            }
-            if self.dpath.throttle.is_ipex() {
-                bits += IPEX_NVFF_BITS;
-            }
+            let bits =
+                CORE_NVFF_BITS + self.ipath.throttle.nvff_bits() + self.dpath.throttle.nvff_bits();
             let restore = self.cfg.energy.nvff_restore_nj(bits);
             self.energy.backup_restore_nj += restore;
             self.cap.consume_nj(restore);
@@ -1129,8 +1159,22 @@ impl Machine {
             }
         }
         self.nvm.power_cycle_reset(self.cycle);
+        // Reboot-time adaptations (e.g. IPEX moving its threshold
+        // ladder) surface as `PolicyAdapt` events, like the
+        // failure-time ones in `enter_power_loss`.
+        let adapt_before = if self.tracer.is_enabled() {
+            Some((
+                self.ipath.throttle.adaptations(),
+                self.dpath.throttle.adaptations(),
+            ))
+        } else {
+            None
+        };
         self.ipath.throttle.on_reboot();
         self.dpath.throttle.on_reboot();
+        if let Some((before_i, before_d)) = adapt_before {
+            self.emit_policy_adapt(before_i, before_d);
+        }
         // The threshold ladders may have adapted and the controllers'
         // levels were reset: invalidate the band so the first
         // instruction of the new power cycle observes for real.
@@ -1157,7 +1201,7 @@ impl Machine {
         if !self.tracer.is_enabled() {
             return;
         }
-        let tally = |t: &Throttle| {
+        let tally = |t: &AnyPolicy| {
             t.stats()
                 .map_or((0, 0), |s| (s.issued + s.throttled, s.throttled))
         };
@@ -1629,6 +1673,184 @@ mod tests {
         let (slow, slow_counts) = weak_power_counted(|m| m.set_decode_cache_enabled(false));
         assert_eq!(fast, slow);
         assert_eq!(fast_counts, slow_counts);
+    }
+
+    /// Every alternative throttling policy must drive a machine to
+    /// completion under weak power and actually gate prefetches: the
+    /// policy API is load-bearing, not decorative.
+    #[test]
+    fn policy_machines_run_and_throttle_under_weak_power() {
+        use ipex::{HysteresisConfig, PolicyConfig, PredictiveConfig, StaticDegreeConfig};
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        // The predictive policy only throttles once a context gathers
+        // enough outage-interval evidence, which this short program may
+        // not provide — for it, seeing the outages (power cycles) and
+        // issuing prefetches is the load-bearing part.
+        for (pc, must_throttle) in [
+            (
+                PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+                false,
+            ),
+            (
+                PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+                true,
+            ),
+            (
+                PolicyConfig::StaticDegree(StaticDegreeConfig::conservative()),
+                true,
+            ),
+        ] {
+            let kind = pc.kind_name();
+            let cfg = SimConfig::builder().throttle_policy(Ipex::Both, pc).build();
+            let r = Machine::with_trace(cfg, &tiny_program(), trace.clone())
+                .run()
+                .unwrap();
+            assert!(r.stats.power_cycles > 1, "{kind}: expected outages");
+            let i = r
+                .ipex_i
+                .unwrap_or_else(|| panic!("{kind}: no ICache stats"));
+            let d = r
+                .ipex_d
+                .unwrap_or_else(|| panic!("{kind}: no DCache stats"));
+            assert!(i.issued + d.issued > 0, "{kind}: prefetching never ran");
+            assert!(d.power_cycles > 1, "{kind}: policy missed the outages");
+            if must_throttle {
+                assert!(
+                    i.throttled + d.throttled > 0,
+                    "{kind}: weak power must suppress some prefetches"
+                );
+            }
+        }
+    }
+
+    /// The batched voltage window must stay an observation *schedule*
+    /// for policies that forbid it: machines driven by a
+    /// non-threshold policy (EWMA state per observation) already run
+    /// exact, so forcing exhaustive checks changes nothing.
+    #[test]
+    fn exhaustive_checks_are_identity_for_non_batchable_policies() {
+        use ipex::{HysteresisConfig, PolicyConfig};
+        let run = |exhaustive: bool| {
+            let cfg = SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+                )
+                .build();
+            let mut m = Machine::with_trace(cfg, &tiny_program(), PowerTrace::constant_mw(2.0, 16));
+            m.set_exhaustive_voltage_checks(exhaustive);
+            m.run().unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Snapshots taken by a policy-driven machine round-trip exactly,
+    /// and resuming one against a configuration that builds a
+    /// *different* policy fails with the structured mismatch error
+    /// naming both kinds.
+    #[test]
+    fn resume_names_policy_kinds_on_mismatch() {
+        use ipex::{PolicyConfig, PredictiveConfig, ThrottleState};
+        let program = tiny_program();
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let cfg = SimConfig::builder()
+            .throttle_policy(
+                Ipex::Both,
+                PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+            )
+            .build();
+        let whole = Machine::with_trace(cfg.clone(), &program, trace.clone())
+            .run()
+            .unwrap();
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        assert!(matches!(m.run_until(40_000).unwrap(), RunStatus::Paused));
+        let snap = Snapshot::from_json(&m.snapshot(&program).to_json()).unwrap();
+
+        // Clean resume completes identically to the whole run.
+        let split = Machine::resume(&snap, &program, trace.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(split.stats, whole.stats);
+        assert_eq!(split.energy, whole.energy);
+
+        // A doctored throttle state of the wrong kind is rejected with
+        // the policy kinds spelled out, not a generic state error.
+        let mut doctored = snap.clone();
+        doctored.ithrottle = ThrottleState::Passthrough;
+        let err = match Machine::resume(&doctored, &program, trace) {
+            Ok(_) => panic!("doctored snapshot must be rejected"),
+            Err(e) => e,
+        };
+        match err {
+            SnapshotError::PolicyMismatch {
+                which,
+                found,
+                expected,
+            } => {
+                assert_eq!(which, "instruction");
+                assert_eq!(found, "passthrough");
+                assert_eq!(expected, "predictive");
+            }
+            other => panic!("expected PolicyMismatch, got {other:?}"),
+        }
+    }
+
+    /// Version-1 snapshots (pre policy API) still resume: the migration
+    /// shim lifts them to the current version in memory.
+    #[test]
+    fn v1_snapshots_migrate_and_resume() {
+        let program = tiny_program();
+        let trace = PowerTrace::constant_mw(3.0, 16);
+        let cfg = SimConfig::builder().ipex(Ipex::Both).build();
+        let mut m = Machine::with_trace(cfg, &program, trace.clone());
+        assert!(matches!(m.run_until(40_000).unwrap(), RunStatus::Paused));
+        let whole = Machine::with_trace(
+            SimConfig::builder().ipex(Ipex::Both).build(),
+            &program,
+            trace.clone(),
+        )
+        .run()
+        .unwrap();
+        let mut snap = m.snapshot(&program);
+        snap.version = 1;
+        let split = Machine::resume(&snap, &program, trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(split.stats, whole.stats);
+        assert_eq!(split.energy, whole.energy);
+    }
+
+    /// Adapting policies announce their adaptation events through the
+    /// tracer: IPEX moves thresholds at reboots, the predictive policy
+    /// records outage intervals at power failures — both must surface
+    /// as `policy-adapt` events under weak power.
+    #[test]
+    fn policy_adapt_events_are_counted() {
+        use ipex::{PolicyConfig, PredictiveConfig};
+        let trace = PowerTrace::constant_mw(2.0, 16);
+        for cfg in [
+            SimConfig::builder()
+                .ipex(Ipex::Both)
+                .trace_mode(crate::TraceMode::Counting)
+                .build(),
+            SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+                )
+                .trace_mode(crate::TraceMode::Counting)
+                .build(),
+        ] {
+            let mut m = Machine::with_trace(cfg, &tiny_program(), trace.clone());
+            let r = m.run().unwrap();
+            assert!(r.stats.power_cycles > 1, "expected outages");
+            assert!(
+                m.trace_counts().policy_adapt > 0,
+                "adaptations must be announced as policy-adapt events"
+            );
+        }
     }
 
     #[test]

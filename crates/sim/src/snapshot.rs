@@ -41,10 +41,20 @@ use crate::SimConfig;
 
 /// Snapshot format version. Bumped whenever [`Snapshot`]'s layout or the
 /// machine's execution semantics change; [`Machine::resume`] rejects any
-/// other version so stale checkpoint files invalidate themselves.
+/// version [`Snapshot::migrate`] cannot bring forward, so stale
+/// checkpoint files invalidate themselves.
+///
+/// History:
+/// * **1** — initial format.
+/// * **2** — throttling-policy API: `ithrottle`/`dthrottle` may carry
+///   any [`ThrottleState`] kind (predictive, hysteresis, static-degree,
+///   not just passthrough/IPEX) and `event_counts` gained
+///   `policy_adapt`. v1 files are forward-compatible (the new
+///   `ThrottleState` kinds are additive and `policy_adapt` defaults to
+///   0), so migration is a version bump.
 ///
 /// [`Machine::resume`]: crate::Machine::resume
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Where in the power-cycle state machine a snapshot was taken.
 ///
@@ -170,6 +180,34 @@ impl Snapshot {
     pub fn digest(&self) -> u64 {
         canon::canonical_digest(self)
     }
+
+    /// Brings a snapshot written by an older format version forward to
+    /// [`SNAPSHOT_VERSION`]. Called by
+    /// [`Machine::resume`](crate::Machine::resume) before any state is
+    /// applied, so old checkpoint files keep working where the layouts
+    /// allow it.
+    ///
+    /// Current migrations: v1 → v2 is a pure version bump — every v1
+    /// field deserializes identically under v2 (`policy_adapt` defaults
+    /// to 0, throttle-state kinds are additive).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::VersionMismatch`] for versions with no migration
+    /// path (anything other than 1 or 2).
+    pub fn migrate(mut self) -> Result<Snapshot, SnapshotError> {
+        match self.version {
+            SNAPSHOT_VERSION => Ok(self),
+            1 => {
+                self.version = 2;
+                Ok(self)
+            }
+            found => Err(SnapshotError::VersionMismatch {
+                found,
+                expected: SNAPSHOT_VERSION,
+            }),
+        }
+    }
 }
 
 /// Why a snapshot could not be resumed.
@@ -196,6 +234,16 @@ pub enum SnapshotError {
         /// Digest of the trace supplied to resume.
         expected: u64,
     },
+    /// The snapshot's throttle state is for a different policy kind
+    /// than the configuration builds.
+    PolicyMismatch {
+        /// Which path's throttle disagreed (`"instruction"` / `"data"`).
+        which: &'static str,
+        /// Policy kind recorded in the snapshot.
+        found: &'static str,
+        /// Policy kind the configuration builds.
+        expected: &'static str,
+    },
     /// A state component failed validation against the configuration.
     State(String),
 }
@@ -216,6 +264,15 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::TraceMismatch { found, expected } => write!(
                 f,
                 "snapshot trace digest {found:#018x} != supplied trace {expected:#018x}"
+            ),
+            SnapshotError::PolicyMismatch {
+                which,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot {which} throttle is a '{found}' policy but the \
+                 configuration builds '{expected}'"
             ),
             SnapshotError::State(msg) => write!(f, "snapshot state invalid: {msg}"),
         }

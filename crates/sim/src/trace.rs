@@ -160,6 +160,17 @@ pub enum SimEvent {
         old_degree: u32,
         new_degree: u32,
     },
+    /// A throttling policy adapted its internal decision state — IPEX
+    /// moving its threshold ladder at reboot, or the predictive policy
+    /// recording an outage interval in its transition tables at power
+    /// failure. `adaptations` is the policy's cumulative counter after
+    /// the change, so consecutive events show the delta.
+    PolicyAdapt {
+        cycle: u64,
+        path: PathId,
+        /// Cumulative adaptation count after this event.
+        adaptations: u64,
+    },
     /// Rollup emitted when a power cycle ends (at restore, and once more
     /// at the end of the run for the final cycle).
     PowerCycleSummary {
@@ -198,6 +209,7 @@ impl SimEvent {
             | SimEvent::CacheFill { cycle, .. }
             | SimEvent::Writeback { cycle, .. }
             | SimEvent::ThresholdCross { cycle, .. }
+            | SimEvent::PolicyAdapt { cycle, .. }
             | SimEvent::PowerCycleSummary { cycle, .. } => cycle,
         }
     }
@@ -218,6 +230,7 @@ impl SimEvent {
             SimEvent::CacheFill { .. } => "cache-fill",
             SimEvent::Writeback { .. } => "writeback",
             SimEvent::ThresholdCross { .. } => "threshold-cross",
+            SimEvent::PolicyAdapt { .. } => "policy-adapt",
             SimEvent::PowerCycleSummary { .. } => "power-cycle-summary",
         }
     }
@@ -246,6 +259,9 @@ pub struct EventCounts {
     pub cache_fill: u64,
     pub writeback: u64,
     pub threshold_cross: u64,
+    /// Absent from pre-v2 snapshots; defaults to 0 when deserializing.
+    #[serde(default)]
+    pub policy_adapt: u64,
     pub power_cycle_summary: u64,
 }
 
@@ -266,6 +282,7 @@ impl EventCounts {
             SimEvent::CacheFill { .. } => self.cache_fill += 1,
             SimEvent::Writeback { .. } => self.writeback += 1,
             SimEvent::ThresholdCross { .. } => self.threshold_cross += 1,
+            SimEvent::PolicyAdapt { .. } => self.policy_adapt += 1,
             SimEvent::PowerCycleSummary { .. } => self.power_cycle_summary += 1,
         }
     }

@@ -9,9 +9,10 @@
 //!   (entries still resident at the end of the run are reconciled
 //!   against the buffer statistics). Duplicate in-flight issues are
 //!   violations: the machine suppresses them.
-//! * **Degree cap** — while an IPEX path is in energy-saving mode
-//!   (current degree below `Ripd`), the number of prefetches issued per
-//!   cycle on that path must not exceed the throttled `Rcpd` cap.
+//! * **Degree cap** — while a throttled path (IPEX or an alternative
+//!   policy) is in energy-saving mode (current degree below its initial
+//!   degree), the number of prefetches issued per cycle on that path
+//!   must not exceed the throttled degree cap.
 //! * **Backup/restore pairing** — restores never outnumber outages, an
 //!   outage is followed by at most one restore, and (without
 //!   `ideal_backup`) every outage performs exactly one backup.
@@ -47,7 +48,7 @@ struct PathModel {
 struct Inner {
     buf_entries: usize,
     ideal_backup: bool,
-    /// `Ripd` per path, `None` when the path is not IPEX-controlled.
+    /// Initial degree per path, `None` when the path is unthrottled.
     initial_degree: [Option<u32>; 2],
     paths: [PathModel; 2],
     last_cycle: u64,
@@ -231,7 +232,8 @@ impl Inner {
             | SimEvent::PrefetchReissued { .. }
             | SimEvent::LatePrefetch { .. }
             | SimEvent::CacheFill { .. }
-            | SimEvent::Writeback { .. } => {}
+            | SimEvent::Writeback { .. }
+            | SimEvent::PolicyAdapt { .. } => {}
         }
     }
 
@@ -335,6 +337,7 @@ impl InvariantSink {
     pub fn for_config(cfg: &SimConfig) -> InvariantSink {
         let ipd = |mode: &PrefetchMode| match mode {
             PrefetchMode::Ipex(ic) => Some(ic.initial_degree),
+            PrefetchMode::Policy(pc) => Some(pc.initial_degree()),
             _ => None,
         };
         let initial_degree = [ipd(&cfg.inst_mode), ipd(&cfg.data_mode)];
@@ -413,9 +416,22 @@ mod tests {
 
     #[test]
     fn invariants_hold_across_outages() {
+        use ipex::{HysteresisConfig, PolicyConfig, PredictiveConfig};
         for cfg in [
             SimConfig::default(),
             SimConfig::builder().ipex(Ipex::Both).build(),
+            SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+                )
+                .build(),
+            SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+                )
+                .build(),
         ] {
             let v = run_with_sink(cfg, 5.0);
             assert!(v.is_empty(), "{v:?}");

@@ -12,7 +12,7 @@
 //!    final architectural state: all 16 registers plus an FNV-1a digest
 //!    of the entire memory image (not just the `a0` checksum). The
 //!    [`oracle::run_matrix`] driver sweeps the whole 20-workload ×
-//!    4-configuration × 4-trace-kind grid in parallel.
+//!    7-configuration × 4-trace-kind grid in parallel.
 //! 2. **Adversarial outage fuzzer** ([`fuzz`]) — synthesizes
 //!    pathological power traces from a seeded PRNG (single-sample
 //!    brownouts, supplies hovering exactly at the IPEX thresholds,

@@ -10,7 +10,7 @@ use ehs_energy::{PowerTrace, TraceKind};
 use ehs_isa::{ExecError, Interpreter, Program, Reg};
 use ehs_sim::{FaultPlan, Ipex, Machine, SimConfig, SimError};
 use ehs_workloads::Workload;
-use ipex::IpexConfig;
+use ipex::{HysteresisConfig, IpexConfig, PolicyConfig, PredictiveConfig, StaticDegreeConfig};
 
 use crate::invariants::InvariantSink;
 use crate::run_parallel;
@@ -256,8 +256,9 @@ pub fn check_workload(
     check_program(&program, &golden, cfg, trace, fault, check_invariants)
 }
 
-/// The four controller configurations the matrix sweeps — the paper's
-/// baseline plus every IPEX placement.
+/// The controller configurations the matrix sweeps — the paper's
+/// baseline, every IPEX placement, and one of each alternative
+/// throttling policy (on both caches, their hardest placement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConfigId {
     /// Conventional prefetching on both caches.
@@ -268,15 +269,24 @@ pub enum ConfigId {
     IpexD,
     /// IPEX on both prefetchers (the headline configuration).
     IpexBoth,
+    /// Predictive (outage-interval learning) policy on both prefetchers.
+    Predictive,
+    /// Hysteresis/EWMA policy on both prefetchers.
+    Hysteresis,
+    /// Static degree-1 policy on both prefetchers.
+    StaticDeg,
 }
 
 impl ConfigId {
-    /// All four configurations, in matrix order.
-    pub const ALL: [ConfigId; 4] = [
+    /// All seven configurations, in matrix order.
+    pub const ALL: [ConfigId; 7] = [
         ConfigId::Baseline,
         ConfigId::IpexI,
         ConfigId::IpexD,
         ConfigId::IpexBoth,
+        ConfigId::Predictive,
+        ConfigId::Hysteresis,
+        ConfigId::StaticDeg,
     ];
 
     /// Stable name, used in reports and corpus files.
@@ -286,6 +296,9 @@ impl ConfigId {
             ConfigId::IpexI => "ipex_i",
             ConfigId::IpexD => "ipex_d",
             ConfigId::IpexBoth => "ipex_both",
+            ConfigId::Predictive => "predictive",
+            ConfigId::Hysteresis => "hysteresis",
+            ConfigId::StaticDeg => "static_deg",
         }
     }
 
@@ -306,6 +319,24 @@ impl ConfigId {
             },
             ConfigId::IpexD => SimConfig::builder().ipex(Ipex::Data).build(),
             ConfigId::IpexBoth => SimConfig::builder().ipex(Ipex::Both).build(),
+            ConfigId::Predictive => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+                )
+                .build(),
+            ConfigId::Hysteresis => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+                )
+                .build(),
+            ConfigId::StaticDeg => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::StaticDegree(StaticDegreeConfig::conservative()),
+                )
+                .build(),
         }
     }
 }
@@ -346,8 +377,8 @@ impl MatrixReport {
     }
 }
 
-/// Sweeps the full 20-workload × 4-configuration × 4-trace-kind grid in
-/// parallel (320 machine runs; golden states are computed once per
+/// Sweeps the full 20-workload × 7-configuration × 4-trace-kind grid in
+/// parallel (560 machine runs; golden states are computed once per
 /// workload). `seed`/`samples` parameterize the synthesized traces.
 pub fn run_matrix(seed: u64, samples: usize, check_invariants: bool) -> MatrixReport {
     let suite = &ehs_workloads::SUITE;

@@ -1,6 +1,6 @@
 //! The golden-state snapshot corpus.
 //!
-//! Ten committed machine snapshots — five suite workloads × two
+//! Fifteen committed machine snapshots — five suite workloads × three
 //! controller configurations, each run under the same fixed weak supply
 //! to the same fixed cycle count — pin the simulator's *complete*
 //! mid-run state bit-for-bit: registers, memory delta, cache and
@@ -40,8 +40,10 @@ pub const TRACE_SAMPLES: usize = 16;
 /// quicksort, scalar math, adaptive-predictor codec).
 pub const WORKLOADS: [&str; 5] = ["strings", "gsmd", "qsort", "basicm", "g721e"];
 
-/// The two controller configurations each workload is captured under.
-pub const CONFIGS: [ConfigId; 2] = [ConfigId::Baseline, ConfigId::IpexBoth];
+/// The three controller configurations each workload is captured under:
+/// unthrottled, the headline IPEX placement, and the predictive policy
+/// (the non-IPEX controller with the most internal state).
+pub const CONFIGS: [ConfigId; 3] = [ConfigId::Baseline, ConfigId::IpexBoth, ConfigId::Predictive];
 
 /// One corpus entry: a (workload, configuration) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +61,7 @@ impl SnapSpec {
     }
 }
 
-/// All ten corpus entries, in committed order.
+/// All fifteen corpus entries, in committed order.
 pub fn specs() -> Vec<SnapSpec> {
     WORKLOADS
         .iter()
@@ -107,12 +109,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn corpus_has_ten_distinct_entries() {
+    fn corpus_has_fifteen_distinct_entries() {
         let specs = specs();
-        assert_eq!(specs.len(), 10);
+        assert_eq!(specs.len(), 15);
         let names: std::collections::BTreeSet<String> =
             specs.iter().map(|s| s.file_name()).collect();
-        assert_eq!(names.len(), 10, "file names collide");
+        assert_eq!(names.len(), 15, "file names collide");
     }
 
     #[test]

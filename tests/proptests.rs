@@ -274,14 +274,15 @@ proptest! {
     }
 
     /// Snapshot/resume is computation-neutral for *every* prefetcher
-    /// kind: running to a random cycle, serializing the complete machine
-    /// state through JSON, resuming a fresh machine from it, and running
-    /// on must land in the bit-identical full state (digest covers
-    /// registers, memory, caches, prefetcher/throttle state, capacitor
-    /// energy, statistics, energy totals and event counts) as the
-    /// uninterrupted run. Random weak supplies make many snapshots land
-    /// mid-outage (recharge phase); mid-backup pauses are pinned by a
-    /// dedicated `ehs-sim` unit test.
+    /// kind × *every* throttling policy: running to a random cycle,
+    /// serializing the complete machine state through JSON, resuming a
+    /// fresh machine from it, and running on must land in the
+    /// bit-identical full state (digest covers registers, memory,
+    /// caches, prefetcher/throttle state, capacitor energy, statistics,
+    /// energy totals and event counts) as the uninterrupted run. Random
+    /// weak supplies make many snapshots land mid-outage (recharge
+    /// phase); mid-backup pauses are pinned by a dedicated `ehs-sim`
+    /// unit test.
     #[test]
     fn snapshot_resume_equivalence_across_prefetchers(
         ikind in prop_oneof![
@@ -297,17 +298,37 @@ proptest! {
             Just(DataPrefetcherKind::BestOffset),
             Just(DataPrefetcherKind::Ampm),
         ],
-        ipex in any::<bool>(),
+        policy in 0u8..5,
         split in 2_000u64..150_000,
         extra in 2_000u64..80_000,
         samples in proptest::collection::vec(0.5f64..40.0, 4..24),
     ) {
+        use ehs_repro::ipex::{
+            HysteresisConfig, PolicyConfig, PredictiveConfig, StaticDegreeConfig,
+        };
         let w = ehs_repro::workloads::by_name("strings").unwrap();
         let program = w.program();
-        let mut cfg = if ipex {
-            SimConfig::builder().ipex(Ipex::Both).build()
-        } else {
-            SimConfig::builder().build()
+        let mut cfg = match policy {
+            0 => SimConfig::builder().build(),
+            1 => SimConfig::builder().ipex(Ipex::Both).build(),
+            2 => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+                )
+                .build(),
+            3 => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+                )
+                .build(),
+            _ => SimConfig::builder()
+                .throttle_policy(
+                    Ipex::Both,
+                    PolicyConfig::StaticDegree(StaticDegreeConfig::conservative()),
+                )
+                .build(),
         };
         cfg.inst_prefetcher = ikind;
         cfg.data_prefetcher = dkind;
@@ -348,5 +369,67 @@ proptest! {
             prop_assert!(d <= last, "degree rose from {last} to {d} as voltage fell");
             last = d;
         }
+    }
+
+    /// A power failure wipes the hysteresis controller's volatile EWMA:
+    /// after the failure/reboot pair its degree decisions on any voltage
+    /// sequence equal a fresh controller's (the nonvolatile counters
+    /// keep accumulating, per the policy's state rules).
+    #[test]
+    fn hysteresis_power_loss_wipes_ewma(
+        warmup in proptest::collection::vec(2.5f64..3.6, 1..80),
+        probe in proptest::collection::vec(2.5f64..3.6, 1..80),
+    ) {
+        use ehs_repro::ipex::{HysteresisConfig, HysteresisController, ThrottlePolicy};
+        let cfg = HysteresisConfig::paper_default();
+        let mut survivor = HysteresisController::new(cfg);
+        for &v in &warmup {
+            survivor.observe_voltage(v);
+        }
+        let cycles_before = survivor.stats().power_cycles;
+        survivor.on_power_failure();
+        survivor.on_reboot();
+        let mut fresh = HysteresisController::new(cfg);
+        for &v in &probe {
+            survivor.observe_voltage(v);
+            fresh.observe_voltage(v);
+            prop_assert_eq!(
+                survivor.current_degree(),
+                fresh.current_degree(),
+                "EWMA state survived the power failure"
+            );
+        }
+        prop_assert_eq!(survivor.stats().power_cycles, cycles_before + 1);
+    }
+
+    /// A power failure wipes the predictive controller's volatile
+    /// sampled history (previous level, context, sample counter) while
+    /// its NVFF transition table records the outage and survives.
+    #[test]
+    fn predictive_power_loss_wipes_history_but_keeps_table(
+        voltages in proptest::collection::vec(2.5f64..3.6, 129..600),
+    ) {
+        use ehs_repro::ipex::{PredictiveConfig, PredictiveController, ThrottlePolicy};
+        use ehs_repro::mem::Persist;
+        let mut ctl = PredictiveController::new(PredictiveConfig::paper_default());
+        // >= 2 full sample periods of observations, so a context forms.
+        for &v in &voltages {
+            ctl.observe_voltage(v);
+        }
+        let before = Persist::export_state(&ctl);
+        prop_assert!(before.context.is_some(), "warmup must establish a context");
+        let table_before: u32 = before.table.iter().sum();
+        ctl.on_power_failure();
+        let after = Persist::export_state(&ctl);
+        prop_assert_eq!(after.prev_level, None);
+        prop_assert_eq!(after.context, None);
+        prop_assert_eq!(after.obs_count, 0);
+        let table_after: u32 = after.table.iter().sum();
+        prop_assert!(
+            table_after > 0 && table_after >= table_before,
+            "the outage must be recorded in the surviving table \
+             ({table_before} -> {table_after})"
+        );
+        prop_assert_eq!(after.adaptations, before.adaptations + 1);
     }
 }

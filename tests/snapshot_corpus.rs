@@ -21,7 +21,7 @@ use ehs_repro::verify::{run_parallel, snapcorpus};
 fn snapshot_corpus_has_not_drifted() {
     let dir = snapcorpus::corpus_dir();
     let specs = snapcorpus::specs();
-    assert_eq!(specs.len(), 10);
+    assert_eq!(specs.len(), 15);
     let checks = run_parallel(&specs, |spec| {
         let path = dir.join(spec.file_name());
         let committed = std::fs::read_to_string(&path)
@@ -43,7 +43,7 @@ fn snapshot_corpus_has_not_drifted() {
     }
     assert!(
         drifted.is_empty(),
-        "{} of 10 golden snapshots drifted (intentional? rerun regen_snapshots and \
+        "{} of 15 golden snapshots drifted (intentional? rerun regen_snapshots and \
          commit the diff):\n{}",
         drifted.len(),
         drifted.join("\n")
