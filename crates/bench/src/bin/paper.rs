@@ -9,6 +9,12 @@
 //!                            var if set, else available parallelism)
 //!   --checkpoint-every N     crash-checkpoint in-flight simulations every N
 //!                            simulated cycles (default 250000000; 0 disables)
+//!   --slices K               time-sliced execution: simulate every miss as K
+//!                            parallel slices stitched bit-identically (cut
+//!                            plans are cached; 1 disables)
+//!   --sampled                SMARTS-style sampled mode: render fig27's
+//!                            sampled-vs-full comparison only (equivalent to
+//!                            --only fig27 when no --only is given)
 //!   --stats                  Monte Carlo mode: seed-sweep every headline of
 //!                            the selected figures and report 95% CIs into
 //!                            results/stats/ instead of rendering the figures
@@ -59,6 +65,34 @@ struct BenchRecord {
     stats_seeds: Option<u64>,
     /// First seed of a `--stats` run; `None` like `stats_seeds`.
     stats_seed_base: Option<u64>,
+    /// Slice budget misses simulated under (`--slices`); 1 for a
+    /// monolithic run, and for records predating sliced execution.
+    slices: u64,
+    /// Whether this was a `--sampled` (SMARTS-mode) run.
+    sampled: bool,
+}
+
+/// The record shape between the `--stats` mode and sliced/sampled
+/// execution. Those runs were monolithic: `slices` migrates to 1 and
+/// `sampled` to false.
+#[derive(Deserialize)]
+struct BenchRecordV2 {
+    unix_ms: u64,
+    wall_ms: u64,
+    jobs: u64,
+    cache_enabled: bool,
+    figures: u64,
+    requested: u64,
+    unique_points: u64,
+    simulated: u64,
+    disk_hits: u64,
+    memo_hits: u64,
+    in_flight_waits: u64,
+    checkpoint_every_cycles: u64,
+    resumed: u64,
+    cycles_simulated: Option<u64>,
+    stats_seeds: Option<u64>,
+    stats_seed_base: Option<u64>,
 }
 
 /// The record shape between cycle accounting and the `--stats` Monte
@@ -108,6 +142,28 @@ fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
     if let Ok(r) = BenchRecord::from_content(c) {
         return Some(fixup_unknown_cycles(r));
     }
+    if let Ok(v2) = BenchRecordV2::from_content(c) {
+        return Some(fixup_unknown_cycles(BenchRecord {
+            unix_ms: v2.unix_ms,
+            wall_ms: v2.wall_ms,
+            jobs: v2.jobs,
+            cache_enabled: v2.cache_enabled,
+            figures: v2.figures,
+            requested: v2.requested,
+            unique_points: v2.unique_points,
+            simulated: v2.simulated,
+            disk_hits: v2.disk_hits,
+            memo_hits: v2.memo_hits,
+            in_flight_waits: v2.in_flight_waits,
+            checkpoint_every_cycles: v2.checkpoint_every_cycles,
+            resumed: v2.resumed,
+            cycles_simulated: v2.cycles_simulated,
+            stats_seeds: v2.stats_seeds,
+            stats_seed_base: v2.stats_seed_base,
+            slices: 1,
+            sampled: false,
+        }));
+    }
     if let Ok(v1) = BenchRecordV1::from_content(c) {
         return Some(fixup_unknown_cycles(BenchRecord {
             unix_ms: v1.unix_ms,
@@ -126,6 +182,8 @@ fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
             cycles_simulated: v1.cycles_simulated,
             stats_seeds: None,
             stats_seed_base: None,
+            slices: 1,
+            sampled: false,
         }));
     }
     let old = BenchRecordV0::from_content(c).ok()?;
@@ -146,6 +204,8 @@ fn migrate_record(c: &serde::Content) -> Option<BenchRecord> {
         cycles_simulated: Some(0),
         stats_seeds: None,
         stats_seed_base: None,
+        slices: 1,
+        sampled: false,
     }))
 }
 
@@ -164,8 +224,9 @@ fn fixup_unknown_cycles(mut r: BenchRecord) -> BenchRecord {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] \
-         [--checkpoint-every N] [--stats] [--seeds N] [--seed-base N] [--list]\n\
+        "usage: paper [--only id1,id2,...] [--no-cache] [--jobs N] [--slices K] \
+         [--sampled] [--checkpoint-every N] [--stats] [--seeds N] \
+         [--seed-base N] [--list]\n\
          ids are short (fig10, tab2) or file ids (fig10_speedup_baseline)"
     );
     std::process::exit(2);
@@ -179,6 +240,8 @@ fn main() {
     // 250M cycles keeps the worst-case repaid work to a few seconds.
     let mut checkpoint_every: u64 = 250_000_000;
     let mut stats_mode = false;
+    let mut slices: Option<usize> = None;
+    let mut sampled_mode = false;
     let mut seeds: u64 = 16;
     let mut seed_base: u64 = monte::DEFAULT_SEED_BASE;
     let mut args = std::env::args().skip(1);
@@ -200,6 +263,14 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--slices" => {
+                let n = args.next().and_then(|s| s.parse().ok());
+                match n {
+                    Some(n) if n >= 1 => slices = Some(n),
+                    _ => usage(),
+                }
+            }
+            "--sampled" => sampled_mode = true,
             "--stats" => stats_mode = true,
             "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => seeds = n,
@@ -219,6 +290,9 @@ fn main() {
         }
     }
 
+    if sampled_mode && only.is_none() {
+        only = Some(vec!["fig27".to_owned()]);
+    }
     let figures: Vec<_> = match &only {
         None => REGISTRY.to_vec(),
         Some(ids) => ids
@@ -242,6 +316,7 @@ fn main() {
             dir: Sweep::default_cache_dir(results_dir),
             every_cycles: checkpoint_every,
         }),
+        slices,
     });
 
     let t0 = Instant::now();
@@ -334,6 +409,8 @@ fn main() {
         cycles_simulated: Some(stats.cycles_simulated),
         stats_seeds: stats_mode.then_some(seeds),
         stats_seed_base: stats_mode.then_some(seed_base),
+        slices: sweep.slices() as u64,
+        sampled: sampled_mode,
     };
     append_bench_record("BENCH_sweep.json", record);
 }

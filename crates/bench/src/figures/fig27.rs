@@ -1,0 +1,110 @@
+//! Figure 27 (repo-original): sampled-mode (SMARTS-style) estimation
+//! error versus the full runs, all 20 workloads under the default
+//! configuration and RFHome.
+//!
+//! For every workload the full run provides the ground-truth IPC and
+//! energy-per-cycle; sampled mode re-estimates both from systematic
+//! measurement windows (`crate::sampled`) and reports 95 % CIs. The
+//! figure records, per workload, the relative estimation error and
+//! whether the truth falls inside the reported interval — the honesty
+//! check the sampled mode's CIs are claimed to pass.
+
+use serde::Serialize;
+
+use super::{base_cfg, rfhome, suite_points, Figure, RenderCx};
+use crate::sampled::{sampled_report, SampledOptions};
+use crate::sweep::SimPoint;
+use crate::{banner, pct};
+
+pub struct Fig27;
+
+impl Figure for Fig27 {
+    fn id(&self) -> &'static str {
+        "fig27"
+    }
+
+    fn file_id(&self) -> &'static str {
+        "fig27_sampled_error"
+    }
+
+    fn title(&self) -> &'static str {
+        "sampled-mode estimation error vs full runs, RFHome"
+    }
+
+    fn points(&self) -> Vec<SimPoint> {
+        // The ground-truth side only; sampled estimates are built in
+        // render (their forward pass is not a sweep point).
+        suite_points(&base_cfg(), &rfhome())
+    }
+
+    fn render(&self, cx: &RenderCx<'_>) {
+        #[derive(Serialize)]
+        struct Row {
+            app: &'static str,
+            windows: u64,
+            window_cycles: u64,
+            full_ipc: f64,
+            sampled_ipc: f64,
+            ipc_ci_lo: f64,
+            ipc_ci_hi: f64,
+            ipc_rel_error: f64,
+            ipc_ci_contains_truth: bool,
+            full_energy_nj_per_cycle: f64,
+            sampled_energy_nj_per_cycle: f64,
+            energy_rel_error: f64,
+            energy_ci_contains_truth: bool,
+        }
+
+        banner(self.id(), self.title());
+        let cfg = base_cfg();
+        let full = cx.suite(&cfg, &rfhome());
+        let trace = rfhome().synthesize();
+        let opts = SampledOptions::default();
+        let mut rows = Vec::new();
+        for w in &ehs_workloads::SUITE {
+            let truth = &full[w.name()];
+            let t_ipc = truth.stats.instructions as f64 / truth.stats.total_cycles as f64;
+            let t_energy = truth.total_energy_nj() / truth.stats.total_cycles as f64;
+            let rep = sampled_report(w, &cfg, &trace, &opts)
+                .unwrap_or_else(|e| panic!("sampled run of `{}` failed: {e}", w.name()));
+            let row = Row {
+                app: w.name(),
+                windows: rep.windows,
+                window_cycles: rep.window_cycles,
+                full_ipc: t_ipc,
+                sampled_ipc: rep.ipc.mean,
+                ipc_ci_lo: rep.ipc.ci95.lo,
+                ipc_ci_hi: rep.ipc.ci95.hi,
+                ipc_rel_error: (rep.ipc.mean - t_ipc).abs() / t_ipc,
+                ipc_ci_contains_truth: rep.ipc.ci95.contains(t_ipc),
+                full_energy_nj_per_cycle: t_energy,
+                sampled_energy_nj_per_cycle: rep.energy_nj_per_cycle.mean,
+                energy_rel_error: (rep.energy_nj_per_cycle.mean - t_energy).abs() / t_energy,
+                energy_ci_contains_truth: rep.energy_nj_per_cycle.ci95.contains(t_energy),
+            };
+            println!(
+                "{:10} {:>3} windows  ipc err {:>7}{}  energy err {:>7}{}",
+                row.app,
+                row.windows,
+                pct(row.ipc_rel_error),
+                if row.ipc_ci_contains_truth { " " } else { "!" },
+                pct(row.energy_rel_error),
+                if row.energy_ci_contains_truth {
+                    " "
+                } else {
+                    "!"
+                },
+            );
+            rows.push(row);
+        }
+        let contained = rows.iter().filter(|r| r.ipc_ci_contains_truth).count();
+        let max_err = rows.iter().map(|r| r.ipc_rel_error).fold(0.0, f64::max);
+        println!(
+            "{:10} ipc CIs containing truth: {contained}/{}  max ipc rel error {}",
+            "summary",
+            rows.len(),
+            pct(max_err)
+        );
+        cx.write(self.file_id(), &rows);
+    }
+}

@@ -32,6 +32,7 @@ mod fig14;
 mod fig15;
 mod fig23;
 mod fig26;
+mod fig27;
 mod sensitivity;
 mod tab2;
 mod tab3;
@@ -156,8 +157,8 @@ impl RenderCx<'_> {
     }
 }
 
-/// All 25 experiments, in presentation order.
-pub static REGISTRY: [&dyn Figure; 25] = [
+/// All 26 experiments, in presentation order.
+pub static REGISTRY: [&dyn Figure; 26] = [
     &fig01::Fig01,
     &fig02::Fig02,
     &fig04::Fig04,
@@ -183,6 +184,7 @@ pub static REGISTRY: [&dyn Figure; 25] = [
     &tab4::Tab4,
     &tab_hw::TabHw,
     &sensitivity::ABLATIONS,
+    &fig27::Fig27,
 ];
 
 /// Looks a figure up by its short id or its file id.

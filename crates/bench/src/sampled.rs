@@ -1,0 +1,358 @@
+//! SMARTS-style sampled simulation: systematic cycle sampling with
+//! snapshot-exact warming, reporting confidence intervals.
+//!
+//! SMARTS (Wunderlich et al.) estimates a long run's metrics from many
+//! short, systematically spaced *measurement windows*, fast-forwarding
+//! between them with functional warming. Our engine has something
+//! better than approximate functional warming: the slice planner's
+//! entry snapshots (`ehs_sim::slice`) are *bit-exact* machine states at
+//! evenly spaced points of the run. Sampled mode resumes a measurement
+//! window of `window_cycles` simulated cycles at every cut, so the only
+//! error left is sampling error — the gaps between windows — which the
+//! reported CIs quantify honestly.
+//!
+//! Per window the estimator measures rate metrics over the window's
+//! *total* cycle span (on + off time), so every window carries ~equal
+//! weight and the mean of per-window rates estimates the run-level
+//! rate:
+//!
+//! * `ipc` — instructions retired per simulated cycle,
+//! * `energy_nj_per_cycle` — total energy per simulated cycle,
+//! * `prefetch_accuracy` — useful prefetches over settled prefetches
+//!   (windows where no prefetch settles contribute no sample).
+//!
+//! CIs are Student-t 95 % over the window samples, computed by
+//! [`crate::stats`]'s order/merge-invariant accumulators, so the report
+//! is byte-identical no matter how the windows were scheduled across
+//! workers — and byte-identical between a cold run (fresh forward
+//! pass) and a warm one (cuts loaded from the cache), because snapshot
+//! JSON round-trips f64 state exactly.
+//!
+//! Cost model, stated honestly: building the cuts requires one full
+//! forward simulation, so a *cold* sampled run saves nothing. Once the
+//! cuts are cached, a sampled re-run simulates only
+//! `windows × window_cycles` cycles — the fraction of the run the
+//! estimate is built from.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use ehs_energy::PowerTrace;
+use ehs_isa::Program;
+use ehs_sim::prelude::*;
+use ehs_sim::slice::{self, SliceError, SlicePlan};
+use ehs_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{Accumulator, Ci};
+
+/// Initial snapshot spacing for the sampled forward pass — half the
+/// slicing grain, so even short suite workloads yield enough windows
+/// for a meaningful dispersion estimate.
+pub const SAMPLE_GRAIN_CYCLES: u64 = 25_000;
+
+/// Minimum measurement-window length: long enough to amortise the
+/// post-resume cache/prefetcher state into steady behaviour.
+pub const MIN_WINDOW_CYCLES: u64 = 2_000;
+
+/// How to run sampled mode.
+#[derive(Debug, Clone)]
+pub struct SampledOptions {
+    /// Target number of measurement windows (= slice-plan cut budget).
+    pub windows: usize,
+    /// Fraction of the inter-cut spacing each window measures
+    /// (`0 < fraction <= 1`); the balance is the sampled-out gap.
+    pub fraction: f64,
+    /// Cut-cache file (shared format with `crate::slice`); `None`
+    /// rebuilds the forward pass every run.
+    pub cuts_path: Option<PathBuf>,
+    /// Worker threads for the window fan-out.
+    pub jobs: usize,
+}
+
+impl Default for SampledOptions {
+    fn default() -> SampledOptions {
+        SampledOptions {
+            windows: 32,
+            fraction: 0.25,
+            cuts_path: None,
+            jobs: 1,
+        }
+    }
+}
+
+/// A point estimate with its 95 % confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Mean of the per-window samples.
+    pub mean: f64,
+    /// Student-t 95 % CI on the mean.
+    pub ci95: Ci,
+    /// Number of windows that contributed a sample.
+    pub n: u64,
+}
+
+impl Estimate {
+    fn from_acc(acc: &Accumulator) -> Estimate {
+        let s = acc.summary();
+        Estimate {
+            mean: s.mean,
+            ci95: s.ci95_t,
+            n: s.n,
+        }
+    }
+}
+
+/// One workload's sampled-mode estimates.
+///
+/// Deliberately excludes whole-run totals (total cycles, coverage):
+/// a warm run never learns them, and the report must be byte-identical
+/// between cold and warm runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledReport {
+    /// Workload name.
+    pub workload: String,
+    /// Measurement windows executed.
+    pub windows: u64,
+    /// Per-window measurement length, simulated cycles.
+    pub window_cycles: u64,
+    /// Cycles actually measured (sum of window spans; the final window
+    /// may be shorter when the program completes inside it).
+    pub measured_cycles: u64,
+    /// Instructions per simulated cycle (on + off time).
+    pub ipc: Estimate,
+    /// Total energy per simulated cycle, nanojoules.
+    pub energy_nj_per_cycle: Estimate,
+    /// Useful / settled prefetches; `None` when no window settled any
+    /// prefetch (e.g. prefetchers disabled).
+    pub prefetch_accuracy: Option<Estimate>,
+}
+
+/// One window's raw deltas.
+struct WindowSample {
+    index: usize,
+    dcycles: u64,
+    dinstr: u64,
+    denergy_nj: f64,
+    dpf_useful: u64,
+    dpf_settled: u64,
+}
+
+/// Runs sampled mode for one workload; see the module docs.
+///
+/// # Errors
+///
+/// [`SimError`] when a window (or the cold forward pass) fails.
+pub fn sampled_report(
+    workload: &Workload,
+    cfg: &SimConfig,
+    trace: &PowerTrace,
+    opts: &SampledOptions,
+) -> Result<SampledReport, SimError> {
+    let program = workload.program();
+    let plan = obtain_plan(cfg, trace, opts, &program)?;
+    let window_cycles = window_length(&plan, opts.fraction);
+
+    let samples = measure_windows(&plan, &program, trace, window_cycles, opts.jobs)?;
+
+    let mut ipc = Accumulator::new();
+    let mut energy = Accumulator::new();
+    let mut accuracy = Accumulator::new();
+    let mut measured = 0u64;
+    for s in &samples {
+        if s.dcycles == 0 {
+            continue;
+        }
+        measured += s.dcycles;
+        let tag = s.index as u64;
+        ipc.push(tag, s.dinstr as f64 / s.dcycles as f64);
+        energy.push(tag, s.denergy_nj / s.dcycles as f64);
+        if s.dpf_settled > 0 {
+            accuracy.push(tag, s.dpf_useful as f64 / s.dpf_settled as f64);
+        }
+    }
+    assert!(!ipc.is_empty(), "sampled mode measured no cycles");
+
+    Ok(SampledReport {
+        workload: workload.name().to_owned(),
+        windows: ipc.n() as u64,
+        window_cycles,
+        measured_cycles: measured,
+        ipc: Estimate::from_acc(&ipc),
+        energy_nj_per_cycle: Estimate::from_acc(&energy),
+        prefetch_accuracy: (!accuracy.is_empty()).then(|| Estimate::from_acc(&accuracy)),
+    })
+}
+
+/// Loads (or builds and caches) the cut plan the windows resume from.
+fn obtain_plan(
+    cfg: &SimConfig,
+    trace: &PowerTrace,
+    opts: &SampledOptions,
+    program: &Program,
+) -> Result<SlicePlan, SimError> {
+    if let Some(path) = &opts.cuts_path {
+        if let Some(plan) = crate::slice::load_plan(path, cfg) {
+            // Entry identities are verified when each window resumes; a
+            // stale plan surfaces as a Snapshot error below and a cold
+            // rebuild (one level of retry, then the error is real).
+            if plan_resumable(&plan, program, trace) {
+                return Ok(plan);
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    let fwd = match slice::plan_auto(
+        cfg,
+        program,
+        trace,
+        opts.windows.max(1),
+        SAMPLE_GRAIN_CYCLES,
+    ) {
+        Ok(f) => f,
+        Err(SliceError::Sim(e)) => return Err(e),
+        Err(e) => panic!("sampled forward pass failed structurally: {e}"),
+    };
+    if let Some(path) = &opts.cuts_path {
+        crate::slice::store_plan(path, &fwd.plan);
+    }
+    Ok(fwd.plan)
+}
+
+/// Cheap staleness probe: can the plan's first entry resume against
+/// this program/trace?
+fn plan_resumable(plan: &SlicePlan, program: &Program, trace: &PowerTrace) -> bool {
+    Machine::resume(&plan.entries[0], program, trace.clone()).is_ok()
+}
+
+/// Picks the common window length: `fraction` of the median inter-cut
+/// spacing, floored at [`MIN_WINDOW_CYCLES`]. A single-cut plan (the
+/// whole program fits in one grain) measures everything — the estimate
+/// degenerates to the exact value.
+fn window_length(plan: &SlicePlan, fraction: f64) -> u64 {
+    let mut gaps: Vec<u64> = plan
+        .entries
+        .windows(2)
+        .map(|w| w[1].cycle - w[0].cycle)
+        .collect();
+    if gaps.is_empty() {
+        return u64::MAX;
+    }
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    let frac = fraction.clamp(0.01, 1.0);
+    ((median as f64 * frac) as u64).max(MIN_WINDOW_CYCLES)
+}
+
+/// Simulates one measurement window per plan entry, in parallel.
+fn measure_windows(
+    plan: &SlicePlan,
+    program: &Program,
+    trace: &PowerTrace,
+    window_cycles: u64,
+    jobs: usize,
+) -> Result<Vec<WindowSample>, SimError> {
+    let n = plan.len();
+    let run_window = |i: usize| -> Result<WindowSample, SimError> {
+        let mut machine = Machine::resume(&plan.entries[i], program, trace.clone())
+            .unwrap_or_else(|e| panic!("window {i} cannot resume its own plan entry: {e}"));
+        let c0 = machine.cycle();
+        let r0 = machine.result();
+        let _ = machine.run_until(c0.saturating_add(window_cycles))?;
+        let r1 = machine.result();
+        Ok(WindowSample {
+            index: i,
+            dcycles: machine.cycle() - c0,
+            dinstr: r1.stats.instructions - r0.stats.instructions,
+            denergy_nj: r1.total_energy_nj() - r0.total_energy_nj(),
+            dpf_useful: (r1.ibuf.useful + r1.dbuf.useful) - (r0.ibuf.useful + r0.dbuf.useful),
+            dpf_settled: (r1.ibuf.useful + r1.ibuf.useless() + r1.dbuf.useful + r1.dbuf.useless())
+                - (r0.ibuf.useful + r0.ibuf.useless() + r0.dbuf.useful + r0.dbuf.useless()),
+        })
+    };
+
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(run_window).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<Result<WindowSample, SimError>>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (next, tx, run_window) = (&next, tx.clone(), &run_window);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send(run_window(i)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut samples: Vec<WindowSample> = Vec::with_capacity(n);
+    for s in rx {
+        samples.push(s?);
+    }
+    samples.sort_by_key(|s| s.index);
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (&'static Workload, SimConfig, PowerTrace) {
+        let workload = ehs_workloads::by_name("gsmd").unwrap();
+        let mut cfg = SimConfig::builder().build();
+        cfg.nvm.size_bytes = 1 << 21;
+        (workload, cfg, PowerTrace::constant_mw(30.0, 16))
+    }
+
+    #[test]
+    fn estimates_contain_the_full_run_truth() {
+        let (workload, cfg, trace) = setup();
+        let truth = crate::run_one(workload, &cfg, &trace).unwrap();
+        let t_ipc = truth.stats.instructions as f64 / truth.stats.total_cycles as f64;
+        let t_energy = truth.total_energy_nj() / truth.stats.total_cycles as f64;
+
+        let report = sampled_report(workload, &cfg, &trace, &SampledOptions::default()).unwrap();
+        assert!(
+            report.ipc.ci95.contains(t_ipc),
+            "ipc CI {:?} must contain {t_ipc}",
+            report.ipc.ci95
+        );
+        assert!(
+            report.energy_nj_per_cycle.ci95.contains(t_energy),
+            "energy CI {:?} must contain {t_energy}",
+            report.energy_nj_per_cycle.ci95
+        );
+        assert!(report.windows >= 2, "gsmd must yield several windows");
+    }
+
+    #[test]
+    fn report_is_byte_identical_cold_and_warm() {
+        let (workload, cfg, trace) = setup();
+        let dir = std::env::temp_dir().join(format!(
+            "ehs-sampled-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SampledOptions {
+            cuts_path: Some(dir.join("gsmd.cuts.json")),
+            jobs: 2,
+            ..SampledOptions::default()
+        };
+        let cold = sampled_report(workload, &cfg, &trace, &opts).unwrap();
+        let warm = sampled_report(workload, &cfg, &trace, &opts).unwrap();
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -717,6 +717,84 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
+    /// Polls `stream` until the server closes it (EOF), proving the
+    /// connection was failed rather than left hanging.
+    fn wait_for_eof(stream: &mut UnixStream) {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => return,
+                Ok(_) => panic!("server answered a protocol violation with data"),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(
+                        Instant::now() < deadline,
+                        "server kept a violating connection open"
+                    );
+                }
+                // The peer may observe the close as a reset instead of
+                // an orderly EOF; either way the connection is dead.
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_fail_the_connection_without_poisoning_the_pool() {
+        let path =
+            std::env::temp_dir().join(format!("ehs-serve-malformed-{}.sock", std::process::id()));
+        let sweep = Arc::new(Sweep::in_memory());
+        let server = Server::spawn(&path, Arc::clone(&sweep)).unwrap();
+        // Make sure the server is accepting before throwing garbage.
+        Client::connect_retry(&path, Duration::from_secs(5))
+            .unwrap()
+            .ping()
+            .unwrap();
+
+        // 1. Oversized u32 length prefix: a protocol violation the
+        // server must answer by dropping the connection.
+        let mut oversized = UnixStream::connect(&path).unwrap();
+        oversized
+            .write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes())
+            .unwrap();
+        wait_for_eof(&mut oversized);
+
+        // 2. Truncated frame: the prefix promises 100 bytes but the
+        // write side shuts down after 10 — EOF mid-frame is an error,
+        // not a hang.
+        let mut truncated = UnixStream::connect(&path).unwrap();
+        truncated.write_all(&100u32.to_le_bytes()).unwrap();
+        truncated.write_all(b"0123456789").unwrap();
+        truncated.shutdown(std::net::Shutdown::Write).unwrap();
+        wait_for_eof(&mut truncated);
+
+        // 3. Mid-frame disconnect: the client vanishes entirely while a
+        // frame is outstanding.
+        let mut vanishing = UnixStream::connect(&path).unwrap();
+        vanishing.write_all(&64u32.to_le_bytes()).unwrap();
+        vanishing.write_all(b"{\"Batch\"").unwrap();
+        drop(vanishing);
+
+        // The shared job channel must survive all three: a well-formed
+        // client still gets full service.
+        let mut client = Client::connect_retry(&path, Duration::from_secs(5)).unwrap();
+        client.ping().unwrap();
+        let reply = client.batch_wire(vec![tiny_wire_point()]).unwrap();
+        assert_eq!(reply.outcomes.len(), 1);
+        reply.results();
+
+        client.shutdown().unwrap();
+        server.join();
+    }
+
     #[test]
     fn server_round_trip_over_a_real_socket() {
         let path = std::env::temp_dir().join(format!("ehs-serve-test-{}.sock", std::process::id()));

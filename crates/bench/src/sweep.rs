@@ -111,16 +111,36 @@ pub struct SweepOptions {
     /// `--no-cache` run re-simulates every point yet still survives
     /// being killed mid-flight.
     pub checkpoints: Option<CheckpointPolicy>,
+    /// Time-sliced execution: `Some(k)` with `k >= 2` routes every
+    /// simulated miss through [`crate::slice::run_one_sliced`] (cut
+    /// plans are cached next to the result cache when `disk_cache` is
+    /// set). Results are bit-identical to monolithic runs — the digest
+    /// chain is asserted per point. `None`/`Some(1)` is the monolithic
+    /// engine.
+    pub slices: Option<usize>,
 }
+
+/// Upper bound on the worker-pool width. No real machine this harness
+/// targets has more cores; a larger request is a typo (`EHS_SWEEP_JOBS=
+/// 10000`) that would only burn memory on idle stacks.
+pub const MAX_JOBS: usize = 256;
 
 /// The `EHS_SWEEP_JOBS` override, if set to a positive integer.
 /// Anything else (unset, empty, garbage, zero) is ignored rather than
-/// erroring: the variable is an operator escape hatch, not an API.
+/// erroring, and absurd widths are clamped to [`MAX_JOBS`]: the
+/// variable is an operator escape hatch, not an API.
 fn env_jobs() -> Option<usize> {
-    std::env::var("EHS_SWEEP_JOBS")
+    parse_jobs(&std::env::var("EHS_SWEEP_JOBS").unwrap_or_default())
+}
+
+/// Pure parser behind [`env_jobs`], split out so the validation rules
+/// are unit-testable without touching process environment.
+fn parse_jobs(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
         .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_JOBS))
 }
 
 /// Where and how often in-flight simulations checkpoint.
@@ -193,6 +213,7 @@ enum Slot {
 /// The deduplicating, memoizing simulation engine. See the module docs.
 pub struct Sweep {
     jobs: usize,
+    slices: usize,
     disk_cache: Option<PathBuf>,
     checkpoints: Option<CheckpointPolicy>,
     state: Mutex<HashMap<PointKey, Slot>>,
@@ -218,7 +239,8 @@ impl Sweep {
                 .unwrap_or(1)
         });
         Sweep {
-            jobs: jobs.max(1),
+            jobs: jobs.clamp(1, MAX_JOBS),
+            slices: opts.slices.unwrap_or(1).max(1),
             disk_cache: opts.disk_cache,
             checkpoints: opts.checkpoints,
             state: Mutex::new(HashMap::new()),
@@ -247,6 +269,12 @@ impl Sweep {
     /// it from the options they passed in.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The slice budget misses simulate under (1 = monolithic). Like
+    /// [`Sweep::jobs`], the resolved value for callers recording it.
+    pub fn slices(&self) -> usize {
+        self.slices
     }
 
     /// The standard on-disk cache location, `<results>/​.cache`.
@@ -404,29 +432,53 @@ impl Sweep {
                     .unwrap_or_else(|| panic!("unknown workload `{}` in sweep", point.workload));
                 let trace = self.materialise(&point.trace);
                 self.simulated.fetch_add(1, Ordering::Relaxed);
-                let r = match &self.checkpoints {
-                    Some(policy) => {
-                        let out = crate::run_one_checkpointed(
-                            workload,
-                            &point.config,
-                            &trace,
-                            &policy.path_for(key),
-                            policy.every_cycles,
-                        );
-                        if out.resumed_from.is_some() {
-                            self.resumed.fetch_add(1, Ordering::Relaxed);
+                let r = if self.slices >= 2 {
+                    // Sliced execution: bit-identical by construction
+                    // (the digest chain is asserted inside), so the
+                    // published result — and every figure derived from
+                    // it — matches a monolithic engine's byte-for-byte.
+                    let opts = crate::slice::SliceRunOptions {
+                        slices: self.slices,
+                        jobs: self.jobs,
+                        cuts_path: self
+                            .disk_cache
+                            .as_ref()
+                            .map(|d| crate::slice::cuts_path(d, key, self.slices)),
+                    };
+                    match crate::slice::run_one_sliced(workload, &point.config, &trace, &opts) {
+                        Ok(run) => {
+                            self.cycles_simulated
+                                .fetch_add(run.cycles_simulated, Ordering::Relaxed);
+                            Ok(run.result)
                         }
-                        self.cycles_simulated
-                            .fetch_add(out.cycles_simulated, Ordering::Relaxed);
-                        out.result
+                        Err(e) => Err(e),
                     }
-                    None => {
-                        // Counted even when the outcome is an error: a
-                        // point that hit its cycle budget or faulted
-                        // still simulated every one of those cycles.
-                        let (r, cycles) = crate::run_one_counted(workload, &point.config, &trace);
-                        self.cycles_simulated.fetch_add(cycles, Ordering::Relaxed);
-                        r
+                } else {
+                    match &self.checkpoints {
+                        Some(policy) => {
+                            let out = crate::run_one_checkpointed(
+                                workload,
+                                &point.config,
+                                &trace,
+                                &policy.path_for(key),
+                                policy.every_cycles,
+                            );
+                            if out.resumed_from.is_some() {
+                                self.resumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.cycles_simulated
+                                .fetch_add(out.cycles_simulated, Ordering::Relaxed);
+                            out.result
+                        }
+                        None => {
+                            // Counted even when the outcome is an error: a
+                            // point that hit its cycle budget or faulted
+                            // still simulated every one of those cycles.
+                            let (r, cycles) =
+                                crate::run_one_counted(workload, &point.config, &trace);
+                            self.cycles_simulated.fetch_add(cycles, Ordering::Relaxed);
+                            r
+                        }
                     }
                 };
                 if let Ok(ok) = &r {
@@ -633,6 +685,7 @@ mod tests {
             jobs: Some(1),
             disk_cache: None,
             checkpoints: Some(policy.clone()),
+            slices: None,
         });
         let warm = sweep.get(&point).unwrap();
         let stats = sweep.stats();
@@ -649,6 +702,40 @@ mod tests {
             "checkpoint must be deleted after completion"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_jobs_rejects_garbage_and_clamps_absurd_widths() {
+        assert_eq!(parse_jobs(""), None);
+        assert_eq!(parse_jobs("   "), None);
+        assert_eq!(parse_jobs("zero"), None);
+        assert_eq!(parse_jobs("0"), None, "a zero-width pool cannot run");
+        assert_eq!(parse_jobs("-4"), None);
+        assert_eq!(parse_jobs("1.5"), None);
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs(" 8 "), Some(8));
+        assert_eq!(parse_jobs(&MAX_JOBS.to_string()), Some(MAX_JOBS));
+        assert_eq!(
+            parse_jobs("10000"),
+            Some(MAX_JOBS),
+            "absurd widths clamp instead of spawning 10k threads"
+        );
+        assert_eq!(parse_jobs(&u64::MAX.to_string()), Some(MAX_JOBS));
+    }
+
+    #[test]
+    fn sliced_engine_publishes_the_monolithic_result() {
+        let p = tiny_point();
+        let mono = Sweep::in_memory().get(&p).unwrap();
+        let sliced = Sweep::new(SweepOptions {
+            jobs: Some(2),
+            slices: Some(3),
+            ..SweepOptions::default()
+        });
+        assert_eq!(sliced.slices(), 3);
+        let r = sliced.get(&p).unwrap();
+        assert_eq!(r, mono, "sliced sweep must be bit-identical");
+        assert_eq!(sliced.stats().simulated, 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn fig10_is_byte_identical_across_engines_and_cache_states() {
     let cold_dir = tmp_dir("cold");
     {
         let sweep = Sweep::new(SweepOptions {
+            slices: None,
             jobs: None,
             disk_cache: Some(cache_dir.clone()),
             checkpoints: None,
@@ -66,6 +67,7 @@ fn fig10_is_byte_identical_across_engines_and_cache_states() {
     let warm_dir = tmp_dir("warm");
     {
         let sweep = Sweep::new(SweepOptions {
+            slices: None,
             jobs: None,
             disk_cache: Some(cache_dir.clone()),
             checkpoints: None,

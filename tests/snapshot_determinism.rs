@@ -11,7 +11,11 @@
 //! breakdown and event counts. The horizon is bounded so the suite
 //! stays tier-1 fast; completion is not required for equivalence.
 
+use proptest::prelude::*;
+
 use ehs_repro::energy::PowerTrace;
+use ehs_repro::prefetch::{DataPrefetcherKind, InstPrefetcherKind};
+use ehs_repro::sim::slice::{plan_at, run_sliced_serial};
 use ehs_repro::sim::{Ipex, Machine, SimConfig, Snapshot};
 use ehs_repro::verify::run_parallel;
 use ehs_repro::workloads::SUITE;
@@ -80,4 +84,86 @@ fn snapshot_resume_is_bit_identical_for_all_20_workloads() {
         "snapshot/resume broke determinism:\n  {}",
         failures.join("\n  ")
     );
+}
+
+/// Builds the configuration for one (ikind, dkind, policy) cell of the
+/// prefetcher × throttling-policy grid, with a small memory image so
+/// per-case snapshot capture stays cheap.
+fn grid_cfg(ikind: InstPrefetcherKind, dkind: DataPrefetcherKind, policy: u8) -> SimConfig {
+    use ehs_repro::ipex::{HysteresisConfig, PolicyConfig, PredictiveConfig, StaticDegreeConfig};
+    let mut cfg = match policy {
+        0 => SimConfig::builder().build(),
+        1 => SimConfig::builder().ipex(Ipex::Both).build(),
+        2 => SimConfig::builder()
+            .throttle_policy(
+                Ipex::Both,
+                PolicyConfig::Predictive(PredictiveConfig::paper_default()),
+            )
+            .build(),
+        3 => SimConfig::builder()
+            .throttle_policy(
+                Ipex::Both,
+                PolicyConfig::Hysteresis(HysteresisConfig::paper_default()),
+            )
+            .build(),
+        _ => SimConfig::builder()
+            .throttle_policy(
+                Ipex::Both,
+                PolicyConfig::StaticDegree(StaticDegreeConfig::conservative()),
+            )
+            .build(),
+    };
+    cfg.inst_prefetcher = ikind;
+    cfg.data_prefetcher = dkind;
+    cfg.nvm.size_bytes = 1 << 21;
+    cfg
+}
+
+proptest! {
+    /// Random K-way slicing at arbitrary `run_until` boundaries
+    /// stitches bit-identically to the monolithic run, across every
+    /// prefetcher kind (4 instruction × 5 data) and all 5 throttling
+    /// policies, under random supplies. This is the end-to-end slicing
+    /// guarantee `ehs_sim::slice` rests on: entry snapshots + replayed
+    /// targets reproduce the exact result and final state digest.
+    #[test]
+    fn random_k_way_slicing_stitches_bit_identically(
+        ikind in prop_oneof![
+            Just(InstPrefetcherKind::None),
+            Just(InstPrefetcherKind::Sequential),
+            Just(InstPrefetcherKind::Markov),
+            Just(InstPrefetcherKind::Tifs),
+        ],
+        dkind in prop_oneof![
+            Just(DataPrefetcherKind::None),
+            Just(DataPrefetcherKind::Stride),
+            Just(DataPrefetcherKind::Ghb),
+            Just(DataPrefetcherKind::BestOffset),
+            Just(DataPrefetcherKind::Ampm),
+        ],
+        policy in 0u8..5,
+        raw_cuts in proptest::collection::vec(2_000u64..220_000, 1..6),
+        samples in proptest::collection::vec(5.0f64..40.0, 4..24),
+    ) {
+        let w = ehs_repro::workloads::by_name("gsmd").unwrap();
+        let program = w.program();
+        let cfg = grid_cfg(ikind, dkind, policy);
+        let trace = PowerTrace::from_samples_mw(samples);
+
+        let mut mono = Machine::with_trace(cfg.clone(), &program, trace.clone());
+        let truth = mono.run().expect("monolithic run completes");
+        let truth_digest = mono.state_digest(&program);
+
+        // plan_at demands strictly increasing, nonzero boundaries.
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let plan = plan_at(&cfg, &program, &trace, &cuts).expect("forward pass");
+        let stitched = run_sliced_serial(&plan, &program, &trace).expect("sliced replay");
+        prop_assert_eq!(&stitched.result, &truth, "sliced result diverged");
+        prop_assert_eq!(
+            stitched.state_digest, truth_digest,
+            "sliced final state diverged (plan of {} slices)", plan.len()
+        );
+    }
 }
